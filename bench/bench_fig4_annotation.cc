@@ -1,0 +1,209 @@
+// F4: web-scale semantic annotation (Figure 4) — throughput/latency per
+// deployment preset (the price/performance curve of §3.2), cached vs
+// on-the-fly reranker profiles, and incremental vs full re-annotation
+// under varying Web churn (§3.1 "rate of change").
+
+#include <cstdio>
+#include <set>
+
+#include "annotation/annotator.h"
+#include "annotation/web_linker.h"
+#include "bench_util.h"
+#include "common/file_util.h"
+#include "common/metrics.h"
+#include "kg/kg_generator.h"
+#include "serving/kv_cache.h"
+#include "websim/corpus_generator.h"
+
+namespace saga {
+namespace {
+
+using bench::Fmt;
+using bench::Section;
+using bench::Table;
+
+struct Env {
+  kg::GeneratedKg gen;
+  websim::WebCorpus corpus;
+};
+
+Env MakeEnv() {
+  kg::KgGeneratorConfig config;
+  config.num_persons = 700;
+  config.num_movies = 150;
+  config.num_songs = 100;
+  config.num_teams = 16;
+  config.num_bands = 30;
+  config.num_cities = 40;
+  config.ambiguous_name_fraction = 0.1;
+  Env env{kg::GenerateKg(config), {}};
+  websim::CorpusGeneratorConfig cc;
+  cc.num_news_pages = 250;
+  cc.num_noise_pages = 100;
+  env.corpus = websim::GenerateCorpus(env.gen, cc);
+  return env;
+}
+
+struct Quality {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+
+Quality Score(const Env& env, const annotation::Annotator& annotator,
+              Histogram* latency_ms, size_t max_docs) {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+  for (websim::DocId id = 0;
+       id < std::min<size_t>(env.corpus.size(), max_docs); ++id) {
+    const auto& doc = env.corpus.doc(id);
+    Stopwatch sw;
+    const auto annotations = annotator.Annotate(doc.body);
+    latency_ms->Add(sw.ElapsedMillis());
+    std::set<std::tuple<size_t, size_t, uint64_t>> predicted;
+    for (const auto& a : annotations) {
+      predicted.insert({a.mention.begin, a.mention.end, a.entity.value()});
+    }
+    std::set<std::tuple<size_t, size_t, uint64_t>> gold;
+    for (const auto& g : doc.gold_mentions) {
+      gold.insert({g.begin, g.end, g.entity.value()});
+    }
+    for (const auto& p : predicted) {
+      if (gold.count(p)) ++tp;
+      else ++fp;
+    }
+    for (const auto& g : gold) {
+      if (!predicted.count(g)) ++fn;
+    }
+  }
+  Quality q;
+  q.precision = tp + fp == 0 ? 0 : 1.0 * tp / (tp + fp);
+  q.recall = tp + fn == 0 ? 0 : 1.0 * tp / (tp + fn);
+  q.f1 = q.precision + q.recall == 0
+             ? 0
+             : 2 * q.precision * q.recall / (q.precision + q.recall);
+  return q;
+}
+
+void BenchPricePerformance(const Env& env) {
+  Section("F4a: deployment presets — the price/performance curve");
+  // Cost model: $ per 1M docs proportional to measured CPU time at a
+  // fixed $/core-hour.
+  constexpr double kDollarsPerCoreHour = 3.0;
+  struct Row {
+    const char* name;
+    annotation::DeploymentPreset preset;
+  };
+  const Row rows[] = {
+      {"fast", annotation::DeploymentPreset::kFast},
+      {"balanced", annotation::DeploymentPreset::kBalanced},
+      {"accurate", annotation::DeploymentPreset::kAccurate}};
+  Table table({"deployment", "precision", "recall", "F1", "docs/s",
+               "p50 ms", "p99 ms", "$ / 1M docs"});
+  for (const auto& row : rows) {
+    annotation::Annotator::Options opts;
+    opts.preset = row.preset;
+    annotation::Annotator annotator(&env.gen.kg, nullptr, opts);
+    Histogram latency;
+    Stopwatch sw;
+    const Quality q = Score(env, annotator, &latency, 400);
+    const double elapsed = sw.ElapsedSeconds();
+    const double docs_per_s = latency.count() / elapsed;
+    const double dollars_per_million =
+        (1e6 / docs_per_s) / 3600.0 * kDollarsPerCoreHour;
+    table.AddRow({row.name, Fmt(q.precision), Fmt(q.recall), Fmt(q.f1),
+                  Fmt(docs_per_s, 1), Fmt(latency.Percentile(50), 3),
+                  Fmt(latency.Percentile(99), 3),
+                  Fmt(dollars_per_million, 2)});
+  }
+  table.Print();
+  std::printf("Expected shape: quality rises fast->accurate while docs/s "
+              "falls; the knee of the curve is the 'balanced' preset.\n");
+}
+
+void BenchCachedProfiles(const Env& env) {
+  Section("F4b: precomputed cached embeddings vs on-the-fly (§3.2)");
+  Table table({"reranker profiles", "docs/s", "speedup"});
+
+  annotation::Annotator::Options opts;
+  opts.preset = annotation::DeploymentPreset::kAccurate;
+  opts.rerank_only_ambiguous = false;  // stress the reranker
+
+  double fly_docs_per_s = 0.0;
+  {
+    annotation::Annotator annotator(&env.gen.kg, nullptr, opts);
+    Histogram latency;
+    Stopwatch sw;
+    (void)Score(env, annotator, &latency, 150);
+    fly_docs_per_s = latency.count() / sw.ElapsedSeconds();
+    table.AddRow({"computed on the fly", Fmt(fly_docs_per_s, 1), "1.0x"});
+  }
+  {
+    auto dir = MakeTempDir("bench_profile_cache");
+    auto cache = serving::EmbeddingKvCache::Open(*dir, 8 << 20);
+    annotation::Annotator annotator(&env.gen.kg, cache->get(), opts);
+    Stopwatch precompute;
+    (void)annotator.reranker().PrecomputeProfiles(cache->get());
+    const double precompute_s = precompute.ElapsedSeconds();
+    Histogram latency;
+    Stopwatch sw;
+    (void)Score(env, annotator, &latency, 150);
+    const double cached_docs_per_s = latency.count() / sw.ElapsedSeconds();
+    table.AddRow({"cached in KV store (precompute " +
+                      Fmt(precompute_s, 2) + "s)",
+                  Fmt(cached_docs_per_s, 1),
+                  Fmt(cached_docs_per_s / fly_docs_per_s, 2) + "x"});
+    (void)RemoveDirRecursively(*dir);
+  }
+  table.Print();
+}
+
+void BenchIncremental(Env env) {
+  Section("F4c: incremental re-annotation under Web churn (§3.1)");
+  annotation::Annotator annotator(&env.gen.kg, nullptr);
+  annotation::IncrementalWebLinker linker(&annotator, &env.gen.kg);
+  Stopwatch sw;
+  (void)linker.AnnotateCorpus(env.corpus);
+  const double full_s = sw.ElapsedSeconds();
+  std::printf("initial full pass: %zu docs in %.2fs\n", env.corpus.size(),
+              full_s);
+
+  Table table({"churn", "docs re-annotated", "incremental s", "full-pass s",
+               "speedup"});
+  Rng rng(9);
+  for (double churn : {0.01, 0.05, 0.10, 0.25, 0.50}) {
+    const auto changed = websim::MutateCorpus(&env.corpus, churn, &rng);
+    sw.Reset();
+    const auto stats = linker.AnnotateCorpus(env.corpus);
+    const double incr_s = sw.ElapsedSeconds();
+    // Full-pass reference: a fresh linker re-annotates everything.
+    annotation::Annotator fresh_annotator(&env.gen.kg, nullptr);
+    annotation::IncrementalWebLinker fresh(&fresh_annotator, &env.gen.kg);
+    sw.Reset();
+    (void)fresh.AnnotateCorpus(env.corpus);
+    const double full_again_s = sw.ElapsedSeconds();
+    table.AddRow({Fmt(churn * 100, 0) + "%",
+                  std::to_string(stats.docs_annotated), Fmt(incr_s, 3),
+                  Fmt(full_again_s, 3),
+                  Fmt(full_again_s / std::max(incr_s, 1e-9), 1) + "x"});
+    (void)changed;
+  }
+  table.Print();
+  std::printf("Expected shape: incremental cost scales with churn, not "
+              "corpus size; speedup ~ 1/churn.\n");
+}
+
+}  // namespace
+}  // namespace saga
+
+int main() {
+  std::printf("F4: web-scale semantic annotation (paper Figure 4)\n");
+  saga::Env env = saga::MakeEnv();
+  std::printf("KG: %zu entities; corpus: %zu docs\n",
+              env.gen.kg.num_entities(), env.corpus.size());
+  saga::BenchPricePerformance(env);
+  saga::BenchCachedProfiles(env);
+  saga::BenchIncremental(std::move(env));
+  return 0;
+}

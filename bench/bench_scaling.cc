@@ -1,0 +1,112 @@
+// Scaling sweep (§3.1 "Scale: ... hundreds of billions of webpages ...
+// our service needs to operate at that scale"): per-unit costs of the
+// core pipelines must stay ~flat as the KG and corpus grow, i.e. total
+// cost near-linear. We sweep the synthetic world size and report
+// per-document / per-edge / per-query costs.
+
+#include <cstdio>
+
+#include "annotation/annotator.h"
+#include "annotation/web_linker.h"
+#include "bench_util.h"
+#include "common/metrics.h"
+#include "embedding/trainer.h"
+#include "graph_engine/view.h"
+#include "kg/kg_generator.h"
+#include "websim/corpus_generator.h"
+#include "websim/search_engine.h"
+
+namespace saga {
+namespace {
+
+using bench::Fmt;
+using bench::Table;
+
+struct World {
+  kg::GeneratedKg gen;
+  websim::WebCorpus corpus;
+};
+
+World MakeWorld(int persons) {
+  kg::KgGeneratorConfig config;
+  config.num_persons = persons;
+  config.num_movies = persons / 4;
+  config.num_songs = persons / 6;
+  config.num_teams = std::max(6, persons / 50);
+  config.num_bands = std::max(8, persons / 30);
+  config.num_cities = std::max(10, persons / 20);
+  World w{kg::GenerateKg(config), {}};
+  websim::CorpusGeneratorConfig cc;
+  cc.num_news_pages = persons / 3;
+  cc.num_noise_pages = persons / 8;
+  w.corpus = websim::GenerateCorpus(w.gen, cc);
+  return w;
+}
+
+}  // namespace
+}  // namespace saga
+
+int main() {
+  using namespace saga;
+  std::printf("Scaling sweep: per-unit cost vs world size (§3.1 claim: "
+              "pipelines scale linearly)\n\n");
+  Table table({"persons", "entities", "docs", "annotate us/doc",
+               "search us/query", "view build us/edge",
+               "train us/edge-epoch"});
+  for (int persons : {250, 500, 1000, 2000}) {
+    World w = MakeWorld(persons);
+
+    // Annotation cost per document (gazetteer grows with the KG).
+    annotation::Annotator annotator(&w.gen.kg, nullptr);
+    Stopwatch sw;
+    size_t annotations = 0;
+    for (websim::DocId id = 0; id < w.corpus.size(); ++id) {
+      annotations += annotator.Annotate(w.corpus.doc(id).body).size();
+    }
+    const double annotate_us =
+        sw.ElapsedMicros() / static_cast<double>(w.corpus.size());
+
+    // Search cost per query.
+    websim::SearchEngine search(&w.corpus);
+    sw.Reset();
+    const int queries = 300;
+    for (int q = 0; q < queries; ++q) {
+      const auto& rec =
+          w.gen.kg.catalog().records()[q % w.gen.kg.num_entities()];
+      (void)search.Search(rec.canonical_name + " born", 10);
+    }
+    const double search_us = sw.ElapsedMicros() / queries;
+
+    // View build per edge.
+    sw.Reset();
+    auto view = graph_engine::GraphView::Build(
+        w.gen.kg, graph_engine::ViewDefinition());
+    const double view_us =
+        sw.ElapsedMicros() / static_cast<double>(view.edges().size());
+
+    // Training per edge-epoch.
+    embedding::TrainingConfig tc;
+    tc.dim = 16;
+    tc.epochs = 2;
+    embedding::InMemoryTrainer trainer(tc);
+    sw.Reset();
+    const auto emb = trainer.Train(view);
+    const double train_us =
+        sw.ElapsedMicros() /
+        (static_cast<double>(emb.train_edges.size()) * tc.epochs);
+
+    table.AddRow({std::to_string(persons),
+                  std::to_string(w.gen.kg.num_entities()),
+                  std::to_string(w.corpus.size()), Fmt(annotate_us, 1),
+                  Fmt(search_us, 1), Fmt(view_us, 2), Fmt(train_us, 2)});
+    (void)annotations;
+  }
+  table.Print();
+  std::printf(
+      "Expected shape: view build and training are flat per edge; "
+      "annotation grows mildly (denser entity mentions per doc). BM25 "
+      "per-query cost tracks posting-list length for common terms — the "
+      "exhaustive-scoring baseline a production engine would cap with "
+      "WAND/impact ordering.\n");
+  return 0;
+}

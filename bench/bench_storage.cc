@@ -1,0 +1,139 @@
+// M1: storage substrate microbenchmarks — KV store put/get/scan,
+// SSTable build, bloom filter probes, external sort throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "common/file_util.h"
+#include "common/rng.h"
+#include "storage/bloom.h"
+#include "storage/external_sorter.h"
+#include "storage/kv_store.h"
+
+namespace saga::storage {
+namespace {
+
+std::string KeyOf(uint64_t i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "key:%012llu",
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+void BM_KvPut(benchmark::State& state) {
+  auto dir = MakeTempDir("bench_kv_put");
+  KvStore::Options opts;
+  opts.use_wal = state.range(0) != 0;
+  auto store = KvStore::Open(*dir, opts);
+  uint64_t i = 0;
+  const std::string value(100, 'v');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.value()->Put(KeyOf(i++), value));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(opts.use_wal ? "wal" : "no-wal");
+  (void)RemoveDirRecursively(*dir);
+}
+BENCHMARK(BM_KvPut)->Arg(0)->Arg(1);
+
+void BM_KvGetHit(benchmark::State& state) {
+  auto dir = MakeTempDir("bench_kv_get");
+  auto store = KvStore::Open(*dir);
+  const uint64_t n = 20000;
+  const std::string value(100, 'v');
+  for (uint64_t i = 0; i < n; ++i) {
+    (void)store.value()->Put(KeyOf(i), value);
+  }
+  (void)store.value()->Flush();
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.value()->Get(KeyOf(rng.Uniform(n))));
+  }
+  state.SetItemsProcessed(state.iterations());
+  (void)RemoveDirRecursively(*dir);
+}
+BENCHMARK(BM_KvGetHit);
+
+void BM_KvGetMissBloomEffect(benchmark::State& state) {
+  // Many SSTables: blooms should keep misses cheap.
+  auto dir = MakeTempDir("bench_kv_miss");
+  auto store = KvStore::Open(*dir);
+  for (int table = 0; table < 8; ++table) {
+    for (uint64_t i = 0; i < 2000; ++i) {
+      (void)store.value()->Put(
+          KeyOf(static_cast<uint64_t>(table) * 1000000 + i), "v");
+    }
+    (void)store.value()->Flush();
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.value()->Get("absent:" + std::to_string(rng.NextUint64())));
+  }
+  state.SetItemsProcessed(state.iterations());
+  const auto& stats = store.value()->stats();
+  state.counters["bloom_skip_ratio"] =
+      static_cast<double>(stats.bloom_skips) /
+      std::max<uint64_t>(1, stats.bloom_skips + stats.sstable_probes);
+  (void)RemoveDirRecursively(*dir);
+}
+BENCHMARK(BM_KvGetMissBloomEffect);
+
+void BM_KvScanPrefix(benchmark::State& state) {
+  auto dir = MakeTempDir("bench_kv_scan");
+  auto store = KvStore::Open(*dir);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    (void)store.value()->Put(KeyOf(i), "v");
+  }
+  (void)store.value()->Flush();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.value()->ScanPrefix("key:00000000"));
+  }
+  (void)RemoveDirRecursively(*dir);
+}
+BENCHMARK(BM_KvScanPrefix);
+
+void BM_BloomProbe(benchmark::State& state) {
+  BloomFilter bloom(100000, static_cast<int>(state.range(0)));
+  for (uint64_t i = 0; i < 100000; ++i) bloom.Add(KeyOf(i));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloom.MayContain(KeyOf(rng.Uniform(200000))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomProbe)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_ExternalSort(benchmark::State& state) {
+  const size_t budget = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto dir = MakeTempDir("bench_sorter");
+    ExternalSorter::Options opts;
+    opts.memory_budget_bytes = budget;
+    opts.spill_dir = *dir;
+    ExternalSorter sorter(opts);
+    Rng rng(4);
+    state.ResumeTiming();
+    for (int i = 0; i < 20000; ++i) {
+      (void)sorter.Add(KeyOf(rng.NextUint64() % 100000), "payload");
+    }
+    auto it = sorter.Sort();
+    size_t n = 0;
+    while (it.value()->Valid()) {
+      ++n;
+      (void)it.value()->Next();
+    }
+    benchmark::DoNotOptimize(n);
+    state.PauseTiming();
+    (void)RemoveDirRecursively(*dir);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+  state.SetLabel("budget=" + std::to_string(budget));
+}
+BENCHMARK(BM_ExternalSort)->Arg(16 << 10)->Arg(1 << 20)->Arg(64 << 20);
+
+}  // namespace
+}  // namespace saga::storage
+
+BENCHMARK_MAIN();

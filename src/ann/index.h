@@ -1,0 +1,39 @@
+#ifndef SAGA_ANN_INDEX_H_
+#define SAGA_ANN_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ann/distance.h"
+
+namespace saga::ann {
+
+/// One k-NN hit: item label (caller-assigned, e.g. EntityId value) and
+/// its similarity under the index metric (higher = closer).
+struct Neighbor {
+  uint64_t label = 0;
+  double similarity = 0.0;
+};
+
+/// Abstract k-nearest-neighbour index over fixed-dim float vectors.
+/// The embedding service builds one per embedding space.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  virtual void Add(uint64_t label, const std::vector<float>& vec) = 0;
+
+  /// Call after all Add()s; idempotent.
+  virtual void Build() = 0;
+
+  /// Top-k most similar items, most similar first.
+  virtual std::vector<Neighbor> Search(const std::vector<float>& query,
+                                       size_t k) const = 0;
+
+  virtual size_t size() const = 0;
+  virtual Metric metric() const = 0;
+};
+
+}  // namespace saga::ann
+
+#endif  // SAGA_ANN_INDEX_H_

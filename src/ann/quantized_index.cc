@@ -1,0 +1,64 @@
+#include "ann/quantized_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace saga::ann {
+
+QuantizedBruteForceIndex::QuantizedBruteForceIndex(int dim, Metric metric)
+    : dim_(dim), metric_(metric) {
+  assert(metric != Metric::kL2 && "L2 unsupported for int8 index");
+}
+
+void QuantizedBruteForceIndex::Add(uint64_t label,
+                                   const std::vector<float>& vec) {
+  assert(static_cast<int>(vec.size()) == dim_);
+  std::vector<float> prepared = vec;
+  if (metric_ == Metric::kCosine) {
+    const double norm = Norm(prepared.data(), prepared.size());
+    if (norm > 0.0) {
+      const float inv = static_cast<float>(1.0 / norm);
+      for (float& x : prepared) x *= inv;
+    }
+  }
+  labels_.push_back(label);
+  vectors_.push_back(QuantizeInt8(prepared));
+}
+
+std::vector<Neighbor> QuantizedBruteForceIndex::Search(
+    const std::vector<float>& query, size_t k) const {
+  std::vector<float> prepared = query;
+  if (metric_ == Metric::kCosine) {
+    const double norm = Norm(prepared.data(), prepared.size());
+    if (norm > 0.0) {
+      const float inv = static_cast<float>(1.0 / norm);
+      for (float& x : prepared) x *= inv;
+    }
+  }
+  std::vector<Neighbor> heap;
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.similarity > b.similarity;
+  };
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    const double sim = DotQuantized(prepared, vectors_[i]);
+    if (heap.size() < k) {
+      heap.push_back(Neighbor{labels_[i], sim});
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (!heap.empty() && sim > heap.front().similarity) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = Neighbor{labels_[i], sim};
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
+}
+
+size_t QuantizedBruteForceIndex::PayloadBytes() const {
+  size_t bytes = 0;
+  for (const auto& v : vectors_) bytes += QuantizedBytes(v);
+  return bytes;
+}
+
+}  // namespace saga::ann

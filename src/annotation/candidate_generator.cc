@@ -1,0 +1,32 @@
+#include "annotation/candidate_generator.h"
+
+#include <algorithm>
+
+namespace saga::annotation {
+
+std::vector<Candidate> CandidateGenerator::Candidates(
+    std::string_view surface) const {
+  const std::vector<kg::EntityId>& ids = catalog_->LookupAlias(surface);
+  double total_pop = 0.0;
+  for (kg::EntityId id : ids) {
+    total_pop += catalog_->popularity(id);
+  }
+  std::vector<Candidate> out;
+  out.reserve(ids.size());
+  for (kg::EntityId id : ids) {
+    Candidate c;
+    c.entity = id;
+    // Popularity share among namesakes (smoothed so zero-popularity
+    // entities stay reachable).
+    c.prior = (catalog_->popularity(id) + 0.01) /
+              (total_pop + 0.01 * static_cast<double>(ids.size()));
+    out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.prior != b.prior) return a.prior > b.prior;
+    return a.entity < b.entity;
+  });
+  return out;
+}
+
+}  // namespace saga::annotation

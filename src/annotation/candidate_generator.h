@@ -1,0 +1,29 @@
+#ifndef SAGA_ANNOTATION_CANDIDATE_GENERATOR_H_
+#define SAGA_ANNOTATION_CANDIDATE_GENERATOR_H_
+
+#include <string_view>
+#include <vector>
+
+#include "annotation/types.h"
+#include "kg/entity_catalog.h"
+
+namespace saga::annotation {
+
+/// Alias-table candidate generation: maps a mention surface to KG
+/// entities sharing that alias, with a popularity-normalized prior.
+class CandidateGenerator {
+ public:
+  explicit CandidateGenerator(const kg::EntityCatalog* catalog)
+      : catalog_(catalog) {}
+
+  /// Candidates sorted by descending prior. Empty when the surface is
+  /// unknown (NIL mention).
+  std::vector<Candidate> Candidates(std::string_view surface) const;
+
+ private:
+  const kg::EntityCatalog* catalog_;
+};
+
+}  // namespace saga::annotation
+
+#endif  // SAGA_ANNOTATION_CANDIDATE_GENERATOR_H_

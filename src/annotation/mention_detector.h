@@ -1,0 +1,41 @@
+#ifndef SAGA_ANNOTATION_MENTION_DETECTOR_H_
+#define SAGA_ANNOTATION_MENTION_DETECTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "annotation/types.h"
+#include "kg/entity_catalog.h"
+#include "text/aho_corasick.h"
+
+namespace saga::annotation {
+
+/// Gazetteer-based mention detection: compiles every catalog alias into
+/// one Aho-Corasick automaton and scans documents in a single pass.
+/// Overlapping matches resolve longest-first (then leftmost).
+class MentionDetector {
+ public:
+  struct Options {
+    /// Drop candidate spans shorter than this many bytes (single
+    /// letters and other noise).
+    size_t min_surface_length = 3;
+    /// Require non-alphanumeric (or boundary) characters around the
+    /// match.
+    bool word_boundaries = true;
+  };
+
+  explicit MentionDetector(const kg::EntityCatalog* catalog);
+  MentionDetector(const kg::EntityCatalog* catalog, Options options);
+
+  /// Non-overlapping mentions in reading order.
+  std::vector<Mention> Detect(std::string_view text) const;
+
+ private:
+  Options options_;
+  text::AhoCorasick automaton_;
+};
+
+}  // namespace saga::annotation
+
+#endif  // SAGA_ANNOTATION_MENTION_DETECTOR_H_

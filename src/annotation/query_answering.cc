@@ -1,0 +1,107 @@
+#include "annotation/query_answering.h"
+
+#include <algorithm>
+#include <set>
+
+#include "text/tokenizer.h"
+
+namespace saga::annotation {
+
+QueryAnswerer::QueryAnswerer(const kg::KnowledgeGraph* kg,
+                             const serving::FactRanker* ranker)
+    : kg_(kg), ranker_(ranker), annotator_(kg, nullptr) {}
+
+kg::PredicateId QueryAnswerer::ResolvePredicate(
+    const std::vector<std::string>& tokens, kg::EntityId subject) const {
+  const std::set<std::string> token_set(tokens.begin(), tokens.end());
+  kg::PredicateId best;
+  double best_score = 0.0;
+  for (const kg::PredicateMeta& meta : kg_->ontology().predicates()) {
+    // Base score: fraction of the predicate's surface-form tokens
+    // present in the query remainder (raw name as a fallback).
+    double score = 0.0;
+    size_t hits = 0;
+    const auto surface_tokens = text::Tokenize(meta.surface_form);
+    if (!surface_tokens.empty()) {
+      for (const auto& t : surface_tokens) {
+        if (token_set.count(t.text)) ++hits;
+      }
+      score = static_cast<double>(hits) /
+              static_cast<double>(surface_tokens.size());
+    }
+    for (const auto& t : text::Tokenize(meta.name)) {
+      if (token_set.count(t.text)) score = std::max(score, 0.9);
+    }
+    if (score < 0.99) continue;
+    // Tiebreakers among full matches: prefer longer surface matches
+    // ("movies directed" beats "movies") and relations the linked
+    // subject actually holds.
+    score += 0.01 * static_cast<double>(hits);
+    if (subject.valid() &&
+        !kg_->triples().BySubjectPredicate(subject, meta.id).empty()) {
+      score += 0.005;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = meta.id;
+    }
+  }
+  return best_score >= 0.99 ? best : kg::PredicateId::Invalid();
+}
+
+QueryAnswerer::Answer QueryAnswerer::Ask(std::string_view query) const {
+  Answer answer;
+
+  // 1. Link the entity mention with full contextual annotation (the
+  //    query text itself is the disambiguation context: "michael
+  //    jordan stats" vs "michael jordan students").
+  const std::vector<Annotation> annotations = annotator_.Annotate(query);
+  if (annotations.empty()) {
+    answer.explanation = "no entity mention recognized";
+    return answer;
+  }
+  const Annotation* subject_ann = &annotations[0];
+  for (const Annotation& a : annotations) {
+    if (a.mention.surface.size() > subject_ann->mention.surface.size()) {
+      subject_ann = &a;
+    }
+  }
+  answer.subject = subject_ann->entity;
+  answer.subject_score = subject_ann->score;
+
+  // 2. Resolve the relation from the tokens outside the mention span.
+  std::vector<std::string> remainder;
+  for (const text::Token& t : text::Tokenize(query)) {
+    if (t.begin >= subject_ann->mention.begin &&
+        t.end <= subject_ann->mention.end) {
+      continue;
+    }
+    remainder.push_back(t.text);
+  }
+  answer.predicate = ResolvePredicate(remainder, answer.subject);
+  answer.explanation = "\"" + subject_ann->mention.surface + "\" -> " +
+                       kg_->catalog().name(answer.subject);
+  if (!answer.predicate.valid()) {
+    answer.explanation += " | no relation resolved";
+    return answer;
+  }
+  answer.explanation +=
+      " | relation: " + kg_->ontology().predicate_name(answer.predicate);
+
+  // 3. Retrieve + rank facts.
+  if (ranker_ != nullptr) {
+    answer.facts = ranker_->Rank(answer.subject, answer.predicate);
+  }
+  if (answer.facts.empty()) {
+    for (const kg::Value& v :
+         kg_->ObjectsOf(answer.subject, answer.predicate)) {
+      serving::FactRanker::RankedFact f;
+      f.object = v;
+      answer.facts.push_back(std::move(f));
+    }
+  }
+  answer.answered = !answer.facts.empty();
+  return answer;
+}
+
+}  // namespace saga::annotation

@@ -1,0 +1,43 @@
+#ifndef SAGA_ANNOTATION_TYPES_H_
+#define SAGA_ANNOTATION_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/ids.h"
+#include "websim/web_document.h"
+
+namespace saga::annotation {
+
+/// A detected surface span that may refer to a KG entity.
+struct Mention {
+  size_t begin = 0;
+  size_t end = 0;
+  std::string surface;
+};
+
+/// One candidate entity for a mention with its context-free prior.
+struct Candidate {
+  kg::EntityId entity;
+  /// Prior from alias popularity before contextual reranking.
+  double prior = 0.0;
+};
+
+/// A resolved entity link.
+struct Annotation {
+  Mention mention;
+  kg::EntityId entity;
+  double score = 0.0;
+  /// Most specific entity type, for typed downstream consumers.
+  kg::TypeId type;
+};
+
+struct AnnotatedDocument {
+  websim::DocId doc = 0;
+  uint32_t doc_version = 0;
+  std::vector<Annotation> annotations;
+};
+
+}  // namespace saga::annotation
+
+#endif  // SAGA_ANNOTATION_TYPES_H_

@@ -1,0 +1,134 @@
+#include "common/file_util.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace saga {
+
+namespace fs = std::filesystem;
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  std::string data;
+  in.seekg(0, std::ios::end);
+  const std::streampos size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat: " + path);
+  data.resize(static_cast<size_t>(size));
+  in.seekg(0);
+  if (size > 0) in.read(data.data(), size);
+  if (!in) return Status::IOError("short read: " + path);
+  return data;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open for write: " + tmp);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::IOError("short write: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status AppendToFile(const std::string& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return Status::IOError("cannot open for append: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::IOError("short append: " + path);
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  const uint64_t size = fs::file_size(path, ec);
+  if (ec) return Status::IOError("file_size " + path + ": " + ec.message());
+  return size;
+}
+
+Status CreateDirIfMissing(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IOError("create_directories " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) return Status::IOError("remove " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveDirRecursively(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) {
+    return Status::IOError("remove_all " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return Status::IOError("list " + dir + ": " + ec.message());
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<std::string> MakeTempDir(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  const fs::path base = fs::temp_directory_path();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const uint64_t id =
+        counter.fetch_add(1) * 1000003ULL + static_cast<uint64_t>(attempt) +
+        static_cast<uint64_t>(::getpid()) * 7919ULL;
+    fs::path candidate = base / (prefix + "_" + std::to_string(id));
+    std::error_code ec;
+    if (fs::create_directory(candidate, ec) && !ec) {
+      return candidate.string();
+    }
+  }
+  return Status::IOError("could not create temp dir with prefix " + prefix);
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  if (dir.empty()) return std::string(name);
+  std::string out(dir);
+  if (out.back() != '/') out.push_back('/');
+  out.append(name);
+  return out;
+}
+
+}  // namespace saga

@@ -1,0 +1,46 @@
+#ifndef SAGA_COMMON_FILE_UTIL_H_
+#define SAGA_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace saga {
+
+/// Reads an entire file into memory.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Creates/truncates `path` and writes `data` atomically (write to a temp
+/// file, then rename).
+Status WriteStringToFile(const std::string& path, std::string_view data);
+
+/// Appends to an existing (or new) file without atomicity guarantees.
+Status AppendToFile(const std::string& path, std::string_view data);
+
+bool FileExists(const std::string& path);
+
+Result<uint64_t> FileSize(const std::string& path);
+
+Status CreateDirIfMissing(const std::string& path);
+
+/// Removes a file; OK if it does not exist.
+Status RemoveFileIfExists(const std::string& path);
+
+/// Recursively removes a directory tree; OK if it does not exist.
+Status RemoveDirRecursively(const std::string& path);
+
+/// Lists regular files (names only, sorted) directly inside `dir`.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// Creates a fresh unique directory under the system temp dir with the
+/// given prefix. The caller owns cleanup.
+Result<std::string> MakeTempDir(const std::string& prefix);
+
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+}  // namespace saga
+
+#endif  // SAGA_COMMON_FILE_UTIL_H_

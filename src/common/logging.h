@@ -1,0 +1,63 @@
+#ifndef SAGA_COMMON_LOGGING_H_
+#define SAGA_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace saga {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+/// Benches raise this to keep output clean.
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+namespace internal_logging {
+
+/// Collects one message and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define SAGA_LOG(level)                                                  \
+  (::saga::LogLevel::k##level < ::saga::GetMinLogLevel())                \
+      ? void(0)                                                          \
+      : ::saga::internal_logging::Voidify() &                            \
+            ::saga::internal_logging::LogMessage(                        \
+                ::saga::LogLevel::k##level, __FILE__, __LINE__)          \
+                .stream()
+
+namespace internal_logging {
+/// Lowest-precedence operator making the ternary above type-check.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+}  // namespace internal_logging
+
+}  // namespace saga
+
+#endif  // SAGA_COMMON_LOGGING_H_

@@ -1,0 +1,75 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace saga {
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return Sum() / static_cast<double>(samples_.size());
+}
+
+double Histogram::Sum() const {
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s;
+}
+
+double Histogram::Min() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+double Histogram::Max() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+double Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string Histogram::Summary() const {
+  return "n=" + std::to_string(count()) + " mean=" + FormatDouble(Mean(), 3) +
+         " p50=" + FormatDouble(Percentile(50), 3) +
+         " p95=" + FormatDouble(Percentile(95), 3) +
+         " p99=" + FormatDouble(Percentile(99), 3) +
+         " max=" + FormatDouble(Max(), 3);
+}
+
+std::string MetricsRegistry::Report() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += name + " = " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out += name + " : " + hist.Summary() + "\n";
+  }
+  return out;
+}
+
+}  // namespace saga

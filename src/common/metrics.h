@@ -1,0 +1,85 @@
+#ifndef SAGA_COMMON_METRICS_H_
+#define SAGA_COMMON_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace saga {
+
+/// Wall-clock stopwatch used by benchmarks and pipeline stage timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates samples and reports count/mean/min/max/percentiles.
+/// Not thread-safe; each worker should own one and merge.
+class Histogram {
+ public:
+  void Add(double v) { samples_.push_back(v); }
+  void Merge(const Histogram& other);
+
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Sum() const;
+  /// p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  /// e.g. "n=100 mean=1.2 p50=1.1 p99=3.0 max=3.2".
+  std::string Summary() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+/// Named counters + histograms for a pipeline run. Passive container:
+/// components increment; benches print.
+class MetricsRegistry {
+ public:
+  void IncrCounter(const std::string& name, int64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  int64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  Histogram* histogram(const std::string& name) { return &histograms_[name]; }
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  std::string Report() const;
+  void Clear() {
+    counters_.clear();
+    histograms_.clear();
+  }
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace saga
+
+#endif  // SAGA_COMMON_METRICS_H_

@@ -1,0 +1,80 @@
+#ifndef SAGA_COMMON_RESULT_H_
+#define SAGA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace saga {
+
+/// Holds either a value of type T or a non-OK Status, in the style of
+/// absl::StatusOr / arrow::Result. Accessing the value of an errored
+/// Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value, so `return value;` works.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status, so
+  /// `return Status::NotFound(...)` works. Must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an errored Result to the caller; otherwise assigns the
+/// value to `lhs`. Usable in functions returning Status or Result.
+#define SAGA_ASSIGN_OR_RETURN(lhs, expr)        \
+  SAGA_ASSIGN_OR_RETURN_IMPL(                   \
+      SAGA_RESULT_CONCAT(_saga_result, __LINE__), lhs, expr)
+
+#define SAGA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define SAGA_RESULT_CONCAT_INNER(a, b) a##b
+#define SAGA_RESULT_CONCAT(a, b) SAGA_RESULT_CONCAT_INNER(a, b)
+
+}  // namespace saga
+
+#endif  // SAGA_COMMON_RESULT_H_

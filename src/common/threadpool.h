@@ -1,0 +1,51 @@
+#ifndef SAGA_COMMON_THREADPOOL_H_
+#define SAGA_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace saga {
+
+/// Fixed-size worker pool executing void() tasks FIFO. Used by the
+/// embedding trainer and annotation pipeline for data parallelism;
+/// degrades gracefully to inline execution with zero threads.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` runs every submitted task inline in Submit().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [0, n), distributing across the pool; blocks until
+/// complete. With a zero-thread pool this is a plain loop.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace saga
+
+#endif  // SAGA_COMMON_THREADPOOL_H_

@@ -1,0 +1,70 @@
+#include "embedding/embedding_store.h"
+
+#include <algorithm>
+
+#include "common/file_util.h"
+#include "common/serialization.h"
+
+namespace saga::embedding {
+
+EmbeddingStore EmbeddingStore::FromTrained(
+    const TrainedEmbeddings& trained, const graph_engine::GraphView& view) {
+  EmbeddingStore store;
+  store.dim_ = trained.dim;
+  for (uint32_t local = 0; local < view.num_entities(); ++local) {
+    store.vectors_.emplace(view.global_entity(local),
+                           trained.entities.RowVec(local));
+  }
+  return store;
+}
+
+void EmbeddingStore::Put(kg::EntityId id, std::vector<float> vec) {
+  if (dim_ == 0) dim_ = static_cast<int>(vec.size());
+  vectors_[id] = std::move(vec);
+}
+
+const std::vector<float>* EmbeddingStore::Get(kg::EntityId id) const {
+  auto it = vectors_.find(id);
+  return it == vectors_.end() ? nullptr : &it->second;
+}
+
+std::vector<kg::EntityId> EmbeddingStore::Ids() const {
+  std::vector<kg::EntityId> ids;
+  ids.reserve(vectors_.size());
+  for (const auto& [id, _] : vectors_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Status EmbeddingStore::Save(const std::string& path) const {
+  std::string buf;
+  BinaryWriter w(&buf);
+  w.PutVarint64(static_cast<uint64_t>(dim_));
+  w.PutVarint64(vectors_.size());
+  for (kg::EntityId id : Ids()) {
+    w.PutVarint64(id.value());
+    w.PutFloatVector(vectors_.at(id));
+  }
+  return WriteStringToFile(path, buf);
+}
+
+Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
+  SAGA_ASSIGN_OR_RETURN(std::string buf, ReadFileToString(path));
+  BinaryReader r(buf);
+  EmbeddingStore store;
+  uint64_t dim = 0;
+  uint64_t n = 0;
+  SAGA_RETURN_IF_ERROR(r.GetVarint64(&dim));
+  SAGA_RETURN_IF_ERROR(r.GetVarint64(&n));
+  store.dim_ = static_cast<int>(dim);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    std::vector<float> vec;
+    SAGA_RETURN_IF_ERROR(r.GetVarint64(&id));
+    SAGA_RETURN_IF_ERROR(r.GetFloatVector(&vec));
+    store.vectors_.emplace(kg::EntityId(id), std::move(vec));
+  }
+  return store;
+}
+
+}  // namespace saga::embedding

@@ -1,0 +1,41 @@
+#ifndef SAGA_EMBEDDING_EVALUATOR_H_
+#define SAGA_EMBEDDING_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "embedding/trainer.h"
+#include "graph_engine/view.h"
+
+namespace saga::embedding {
+
+/// Link-prediction ranking quality (standard KGE protocol).
+struct RankingMetrics {
+  double mrr = 0.0;
+  double hits_at_1 = 0.0;
+  double hits_at_3 = 0.0;
+  double hits_at_10 = 0.0;
+  size_t num_queries = 0;
+};
+
+/// Filtered tail-ranking evaluation: for each test edge (h, r, t), rank
+/// t among all entities by score, filtering other true tails. Caps
+/// candidate count at `max_candidates` by sampling (plus the true tail)
+/// for tractability; with max_candidates >= num_entities it is exact.
+RankingMetrics EvaluateRanking(const TrainedEmbeddings& emb,
+                               const graph_engine::GraphView& view,
+                               const std::vector<graph_engine::ViewEdge>& test,
+                               size_t max_candidates, Rng* rng);
+
+/// Fact-verification quality: AUC of score separating true test edges
+/// from uniformly corrupted ones (one corruption per positive).
+double EvaluateVerificationAuc(
+    const TrainedEmbeddings& emb, const graph_engine::GraphView& view,
+    const std::vector<graph_engine::ViewEdge>& test, Rng* rng);
+
+/// Area under the ROC curve for (score, label) pairs.
+double Auc(const std::vector<std::pair<double, bool>>& scored);
+
+}  // namespace saga::embedding
+
+#endif  // SAGA_EMBEDDING_EVALUATOR_H_

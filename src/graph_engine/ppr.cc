@@ -1,0 +1,66 @@
+#include "graph_engine/ppr.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace saga::graph_engine {
+
+PprEngine::PprEngine(const GraphView* view) : PprEngine(view, Options()) {}
+
+PprEngine::PprEngine(const GraphView* view, Options options)
+    : view_(view), options_(options) {}
+
+std::unordered_map<uint32_t, double> PprEngine::Ppr(uint32_t source) const {
+  const auto& adj = view_->Adjacency();
+  std::unordered_map<uint32_t, double> p;
+  std::unordered_map<uint32_t, double> r;
+  r[source] = 1.0;
+  std::deque<uint32_t> queue{source};
+  std::unordered_map<uint32_t, bool> queued;
+  queued[source] = true;
+
+  size_t pushes = 0;
+  while (!queue.empty() && pushes < options_.max_pushes) {
+    const uint32_t u = queue.front();
+    queue.pop_front();
+    queued[u] = false;
+    const double ru = r[u];
+    const size_t deg = adj[u].size();
+    if (deg == 0) {
+      // Dangling node: absorb the residual.
+      p[u] += ru;
+      r[u] = 0.0;
+      continue;
+    }
+    if (ru / static_cast<double>(deg) < options_.epsilon) continue;
+    ++pushes;
+    p[u] += options_.alpha * ru;
+    const double push = (1.0 - options_.alpha) * ru /
+                        static_cast<double>(deg);
+    r[u] = 0.0;
+    for (uint32_t v : adj[u]) {
+      r[v] += push;
+      if (!queued[v] &&
+          r[v] / std::max<size_t>(1, adj[v].size()) >= options_.epsilon) {
+        queue.push_back(v);
+        queued[v] = true;
+      }
+    }
+  }
+  return p;
+}
+
+std::vector<std::pair<uint32_t, double>> PprEngine::TopKRelated(
+    uint32_t source, size_t k) const {
+  auto scores = Ppr(source);
+  scores.erase(source);
+  std::vector<std::pair<uint32_t, double>> out(scores.begin(), scores.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace saga::graph_engine

@@ -1,0 +1,41 @@
+#ifndef SAGA_GRAPH_ENGINE_PPR_H_
+#define SAGA_GRAPH_ENGINE_PPR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph_engine/view.h"
+
+namespace saga::graph_engine {
+
+/// Personalized PageRank over a graph view, via the Andersen-Chung-Lang
+/// forward-push approximation. Serves as the classical (non-embedding)
+/// related-entities baseline and as a graph-signal feature.
+class PprEngine {
+ public:
+  struct Options {
+    double alpha = 0.15;    // teleport probability
+    double epsilon = 1e-4;  // push threshold (residual/degree)
+    size_t max_pushes = 1000000;
+  };
+
+  explicit PprEngine(const GraphView* view);
+  PprEngine(const GraphView* view, Options options);
+
+  /// Approximate PPR vector from `source` (local id); only nonzero
+  /// entries are returned.
+  std::unordered_map<uint32_t, double> Ppr(uint32_t source) const;
+
+  /// Top-k highest-PPR entities excluding the source itself.
+  std::vector<std::pair<uint32_t, double>> TopKRelated(uint32_t source,
+                                                       size_t k) const;
+
+ private:
+  const GraphView* view_;
+  Options options_;
+};
+
+}  // namespace saga::graph_engine
+
+#endif  // SAGA_GRAPH_ENGINE_PPR_H_

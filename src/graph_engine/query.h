@@ -1,0 +1,56 @@
+#ifndef SAGA_GRAPH_ENGINE_QUERY_H_
+#define SAGA_GRAPH_ENGINE_QUERY_H_
+
+#include <optional>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+
+namespace saga::graph_engine {
+
+/// A triple pattern with any combination of bound positions; unbound
+/// positions are wildcards. ("benicio del toro", directed, ?movie).
+struct TriplePattern {
+  std::optional<kg::EntityId> subject;
+  std::optional<kg::PredicateId> predicate;
+  std::optional<kg::Value> object;
+};
+
+/// Live triples matching the pattern, using the cheapest available
+/// index (SP > S > O-entity > P > full scan).
+std::vector<kg::TripleIdx> Match(const kg::KnowledgeGraph& kg,
+                                 const TriplePattern& pattern);
+
+/// Entities that satisfy every (predicate, object) constraint, i.e. a
+/// conjunctive star query around a subject variable.
+std::vector<kg::EntityId> FindEntities(
+    const kg::KnowledgeGraph& kg,
+    const std::vector<std::pair<kg::PredicateId, kg::Value>>& constraints);
+
+/// Two-hop join: subjects s such that (s, p1, m) and (m, p2, o) for some
+/// m. E.g. athletes whose team is in a given city.
+std::vector<kg::EntityId> JoinTwoHop(const kg::KnowledgeGraph& kg,
+                                     kg::PredicateId p1, kg::PredicateId p2,
+                                     const kg::Value& final_object);
+
+/// Multi-hop path composition (§2 "multi-hop reasoning"): the sorted
+/// set of entities reachable from `start` by following the predicates
+/// in order over entity edges, e.g. spouse -> plays_for -> team_city =
+/// "cities of the teams of X's spouse".
+std::vector<kg::EntityId> FollowPath(
+    const kg::KnowledgeGraph& kg, kg::EntityId start,
+    const std::vector<kg::PredicateId>& path);
+
+/// Logical set operators over sorted entity sets — the combinators of
+/// reasoning queries. Inputs must be sorted and deduplicated (as all
+/// query functions here return).
+std::vector<kg::EntityId> IntersectSets(const std::vector<kg::EntityId>& a,
+                                        const std::vector<kg::EntityId>& b);
+std::vector<kg::EntityId> UnionSets(const std::vector<kg::EntityId>& a,
+                                    const std::vector<kg::EntityId>& b);
+std::vector<kg::EntityId> DifferenceSets(
+    const std::vector<kg::EntityId>& a, const std::vector<kg::EntityId>& b);
+
+}  // namespace saga::graph_engine
+
+#endif  // SAGA_GRAPH_ENGINE_QUERY_H_

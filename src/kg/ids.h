@@ -1,0 +1,64 @@
+#ifndef SAGA_KG_IDS_H_
+#define SAGA_KG_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace saga::kg {
+
+/// Strongly typed 64-bit identifier. Distinct Tag types prevent mixing
+/// entity ids with predicate ids at compile time. Ids are allocated
+/// densely from 0 so they double as array indexes (embedding rows,
+/// partition assignment).
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() : value_(kInvalidValue) {}
+  constexpr explicit Id(uint64_t value) : value_(value) {}
+
+  constexpr uint64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  static constexpr Id Invalid() { return Id(); }
+
+  friend constexpr bool operator==(Id a, Id b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(Id a, Id b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+ private:
+  static constexpr uint64_t kInvalidValue =
+      std::numeric_limits<uint64_t>::max();
+  uint64_t value_;
+};
+
+struct EntityTag {};
+struct PredicateTag {};
+struct TypeTag {};
+struct SourceTag {};
+
+using EntityId = Id<EntityTag>;
+using PredicateId = Id<PredicateTag>;
+using TypeId = Id<TypeTag>;
+using SourceId = Id<SourceTag>;
+
+}  // namespace saga::kg
+
+namespace std {
+template <typename Tag>
+struct hash<saga::kg::Id<Tag>> {
+  size_t operator()(saga::kg::Id<Tag> id) const noexcept {
+    // splitmix-style avalanche; dense ids hash poorly raw.
+    uint64_t h = id.value() + 0x9E3779B97F4A7C15ULL;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<size_t>(h ^ (h >> 31));
+  }
+};
+}  // namespace std
+
+#endif  // SAGA_KG_IDS_H_

@@ -1,0 +1,40 @@
+#ifndef SAGA_KG_TRIPLE_H_
+#define SAGA_KG_TRIPLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kg/ids.h"
+#include "kg/value.h"
+
+namespace saga::kg {
+
+/// Where a fact came from and how much we trust it. Every triple in an
+/// open-domain KG carries provenance; ODKE and fact verification key off
+/// it (§4: veracity).
+struct Provenance {
+  SourceId source;
+  /// Extractor / ingestion confidence in [0, 1].
+  double confidence = 1.0;
+  /// Logical ingestion time (monotone per KG); staleness detection
+  /// compares against the profiler's freshness horizon.
+  int64_t timestamp = 0;
+};
+
+/// A single (subject, predicate, object) fact plus provenance.
+struct Triple {
+  EntityId subject;
+  PredicateId predicate;
+  Value object;
+  Provenance provenance;
+};
+
+/// Dense index of a triple inside a TripleStore. Stable for the life of
+/// the store (deletions tombstone rather than reindex).
+using TripleIdx = uint32_t;
+
+constexpr TripleIdx kInvalidTripleIdx = 0xFFFFFFFFu;
+
+}  // namespace saga::kg
+
+#endif  // SAGA_KG_TRIPLE_H_

@@ -1,0 +1,81 @@
+#ifndef SAGA_KG_TRIPLE_STORE_H_
+#define SAGA_KG_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/serialization.h"
+#include "common/status.h"
+#include "kg/ids.h"
+#include "kg/triple.h"
+
+namespace saga::kg {
+
+/// Indexed in-memory triple store with SP / P / O-entity access paths.
+/// Triples are appended; deletions tombstone in place so TripleIdx stays
+/// stable (views and annotation indexes hold TripleIdx references).
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  /// Appends a triple; duplicates are allowed (multi-source facts).
+  TripleIdx Add(Triple t);
+
+  /// Tombstones a triple. Safe to call twice.
+  void Remove(TripleIdx idx);
+
+  bool IsLive(TripleIdx idx) const { return !deleted_[idx]; }
+  const Triple& triple(TripleIdx idx) const { return triples_[idx]; }
+  size_t size() const { return triples_.size(); }
+  size_t live_size() const { return live_count_; }
+
+  /// Live triple indexes with the given subject.
+  std::vector<TripleIdx> BySubject(EntityId s) const;
+  /// Live triple indexes with the given subject and predicate.
+  std::vector<TripleIdx> BySubjectPredicate(EntityId s, PredicateId p) const;
+  /// Live triple indexes with the given predicate.
+  std::vector<TripleIdx> ByPredicate(PredicateId p) const;
+  /// Live triple indexes whose object is the given entity.
+  std::vector<TripleIdx> ByObjectEntity(EntityId o) const;
+
+  /// True if a live triple (s, p, o) exists.
+  bool Contains(EntityId s, PredicateId p, const Value& o) const;
+
+  /// Number of live triples per predicate; the view builder's
+  /// min-frequency filter (§2) uses this.
+  std::unordered_map<PredicateId, uint64_t> PredicateFrequencies() const;
+
+  /// Invokes fn(idx, triple) for every live triple.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (TripleIdx i = 0; i < triples_.size(); ++i) {
+      if (!deleted_[i]) fn(i, triples_[i]);
+    }
+  }
+
+  void Serialize(BinaryWriter* w) const;
+  static Status Deserialize(BinaryReader* r, TripleStore* out);
+
+ private:
+  static uint64_t SpKey(EntityId s, PredicateId p);
+  std::vector<TripleIdx> Filtered(const std::vector<TripleIdx>* v) const;
+
+  std::vector<Triple> triples_;
+  std::vector<bool> deleted_;
+  size_t live_count_ = 0;
+
+  std::unordered_map<EntityId, std::vector<TripleIdx>> by_subject_;
+  std::unordered_map<uint64_t, std::vector<TripleIdx>> by_sp_;
+  std::unordered_map<PredicateId, std::vector<TripleIdx>> by_predicate_;
+  std::unordered_map<EntityId, std::vector<TripleIdx>> by_object_entity_;
+};
+
+}  // namespace saga::kg
+
+#endif  // SAGA_KG_TRIPLE_STORE_H_

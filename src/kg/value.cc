@@ -1,0 +1,236 @@
+#include "kg/value.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace saga::kg {
+
+std::string Date::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year(), month(), day());
+  return buf;
+}
+
+bool Date::Parse(std::string_view s, Date* out) {
+  if (s.size() != 10 || s[4] != '-' || s[7] != '-') return false;
+  int y = 0;
+  int m = 0;
+  int d = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    y = y * 10 + (s[i] - '0');
+  }
+  for (int i = 5; i < 7; ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    m = m * 10 + (s[i] - '0');
+  }
+  for (int i = 8; i < 10; ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    d = d * 10 + (s[i] - '0');
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31) return false;
+  *out = Date::FromYmd(y, m, d);
+  return true;
+}
+
+Value Value::Entity(EntityId id) {
+  Value v;
+  v.kind_ = Kind::kEntity;
+  v.entity_ = id;
+  return v;
+}
+
+Value Value::String(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::Int(int64_t i) {
+  Value v;
+  v.kind_ = Kind::kInt;
+  v.int_ = i;
+  return v;
+}
+
+Value Value::Double(double d) {
+  Value v;
+  v.kind_ = Kind::kDouble;
+  v.double_ = d;
+  return v;
+}
+
+Value Value::OfDate(Date d) {
+  Value v;
+  v.kind_ = Kind::kDate;
+  v.int_ = d.ymd;
+  return v;
+}
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.int_ = b ? 1 : 0;
+  return v;
+}
+
+EntityId Value::entity() const {
+  assert(kind_ == Kind::kEntity);
+  return entity_;
+}
+
+const std::string& Value::string_value() const {
+  assert(kind_ == Kind::kString);
+  return string_;
+}
+
+int64_t Value::int_value() const {
+  assert(kind_ == Kind::kInt);
+  return int_;
+}
+
+double Value::double_value() const {
+  assert(kind_ == Kind::kDouble);
+  return double_;
+}
+
+Date Value::date_value() const {
+  assert(kind_ == Kind::kDate);
+  return Date{static_cast<int32_t>(int_)};
+}
+
+bool Value::bool_value() const {
+  assert(kind_ == Kind::kBool);
+  return int_ != 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kEntity:
+      return "E" + std::to_string(entity_.value());
+    case Kind::kString:
+      return string_;
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", double_);
+      return buf;
+    }
+    case Kind::kDate:
+      return Date{static_cast<int32_t>(int_)}.ToString();
+    case Kind::kBool:
+      return int_ ? "true" : "false";
+  }
+  return "?";
+}
+
+uint64_t Value::Hash() const {
+  uint64_t h = static_cast<uint64_t>(kind_);
+  switch (kind_) {
+    case Kind::kEntity:
+      return HashCombine(h, entity_.value());
+    case Kind::kString:
+      return HashCombine(h, Hash64(string_));
+    case Kind::kInt:
+    case Kind::kDate:
+    case Kind::kBool:
+      return HashCombine(h, static_cast<uint64_t>(int_));
+    case Kind::kDouble: {
+      uint64_t bits;
+      std::memcpy(&bits, &double_, sizeof(bits));
+      return HashCombine(h, bits);
+    }
+  }
+  return h;
+}
+
+void Value::Serialize(BinaryWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(kind_));
+  switch (kind_) {
+    case Kind::kEntity:
+      w->PutVarint64(entity_.value());
+      break;
+    case Kind::kString:
+      w->PutString(string_);
+      break;
+    case Kind::kInt:
+    case Kind::kDate:
+    case Kind::kBool:
+      w->PutVarint64Signed(int_);
+      break;
+    case Kind::kDouble:
+      w->PutDouble(double_);
+      break;
+  }
+}
+
+Status Value::Deserialize(BinaryReader* r, Value* out) {
+  uint8_t kind_byte = 0;
+  SAGA_RETURN_IF_ERROR(r->GetU8(&kind_byte));
+  if (kind_byte > static_cast<uint8_t>(Kind::kBool)) {
+    return Status::Corruption("bad value kind " + std::to_string(kind_byte));
+  }
+  const Kind kind = static_cast<Kind>(kind_byte);
+  switch (kind) {
+    case Kind::kEntity: {
+      uint64_t id = 0;
+      SAGA_RETURN_IF_ERROR(r->GetVarint64(&id));
+      *out = Value::Entity(EntityId(id));
+      break;
+    }
+    case Kind::kString: {
+      std::string s;
+      SAGA_RETURN_IF_ERROR(r->GetString(&s));
+      *out = Value::String(std::move(s));
+      break;
+    }
+    case Kind::kInt: {
+      int64_t v = 0;
+      SAGA_RETURN_IF_ERROR(r->GetVarint64Signed(&v));
+      *out = Value::Int(v);
+      break;
+    }
+    case Kind::kDate: {
+      int64_t v = 0;
+      SAGA_RETURN_IF_ERROR(r->GetVarint64Signed(&v));
+      *out = Value::OfDate(Date{static_cast<int32_t>(v)});
+      break;
+    }
+    case Kind::kBool: {
+      int64_t v = 0;
+      SAGA_RETURN_IF_ERROR(r->GetVarint64Signed(&v));
+      *out = Value::Bool(v != 0);
+      break;
+    }
+    case Kind::kDouble: {
+      double v = 0;
+      SAGA_RETURN_IF_ERROR(r->GetDouble(&v));
+      *out = Value::Double(v);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Value::Kind::kEntity:
+      return a.entity_ == b.entity_;
+    case Value::Kind::kString:
+      return a.string_ == b.string_;
+    case Value::Kind::kInt:
+    case Value::Kind::kDate:
+    case Value::Kind::kBool:
+      return a.int_ == b.int_;
+    case Value::Kind::kDouble:
+      return a.double_ == b.double_;
+  }
+  return false;
+}
+
+}  // namespace saga::kg

@@ -1,0 +1,208 @@
+#include "odke/extractor.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "websim/corpus_generator.h"
+
+namespace saga::odke {
+
+namespace {
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// Infobox key conventions for the predicates ODKE currently harvests.
+std::string InfoboxKeyFor(const std::string& predicate_name) {
+  if (predicate_name == "date_of_birth") return "born";
+  if (predicate_name == "height_cm") return "height_cm";
+  return predicate_name;
+}
+
+/// Parses an infobox value string per the predicate's range kind.
+bool ParseInfoboxValue(const kg::PredicateMeta& meta, const std::string& raw,
+                       kg::Value* out) {
+  switch (meta.range_kind) {
+    case kg::Value::Kind::kDate: {
+      kg::Date d;
+      if (!kg::Date::Parse(raw, &d)) return false;
+      *out = kg::Value::OfDate(d);
+      return true;
+    }
+    case kg::Value::Kind::kInt: {
+      char* end = nullptr;
+      const long long v = std::strtoll(raw.c_str(), &end, 10);
+      if (end == raw.c_str()) return false;
+      *out = kg::Value::Int(v);
+      return true;
+    }
+    case kg::Value::Kind::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(raw.c_str(), &end);
+      if (end == raw.c_str()) return false;
+      *out = kg::Value::Double(v);
+      return true;
+    }
+    case kg::Value::Kind::kString:
+      *out = kg::Value::String(raw);
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True when any annotation links `subject` with a span overlapping
+/// [begin, end).
+bool AnnotationSupports(const annotation::AnnotatedDocument* annotations,
+                        kg::EntityId subject, size_t begin, size_t end) {
+  if (annotations == nullptr) return false;
+  for (const auto& a : annotations->annotations) {
+    if (a.entity == subject && a.mention.begin < end &&
+        begin < a.mention.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view ExtractorKindName(ExtractorKind kind) {
+  switch (kind) {
+    case ExtractorKind::kInfoboxRule:
+      return "infobox_rule";
+    case ExtractorKind::kTextPattern:
+      return "text_pattern";
+  }
+  return "?";
+}
+
+std::vector<CandidateFact> InfoboxExtractor::Extract(
+    const websim::WebDocument& doc, const FactGap& gap,
+    const annotation::AnnotatedDocument* annotations) const {
+  (void)annotations;
+  std::vector<CandidateFact> out;
+  if (doc.infobox.empty()) return out;
+
+  // The page must be about the subject: infobox name matches an alias,
+  // or the title contains the canonical name.
+  const kg::EntityRecord& rec = kg_->catalog().record(gap.subject);
+  bool about_subject = false;
+  for (const auto& [key, value] : doc.infobox) {
+    if (key != "name") continue;
+    const std::string norm = kg::EntityCatalog::NormalizeSurface(value);
+    for (const std::string& alias : rec.aliases) {
+      if (kg::EntityCatalog::NormalizeSurface(alias) == norm) {
+        about_subject = true;
+        break;
+      }
+    }
+  }
+  if (!about_subject &&
+      Lower(doc.title).find(Lower(rec.canonical_name)) != std::string::npos) {
+    about_subject = true;
+  }
+  if (!about_subject) return out;
+
+  const kg::PredicateMeta& meta = kg_->ontology().predicate(gap.predicate);
+  const std::string wanted_key = InfoboxKeyFor(meta.name);
+  for (const auto& [key, value] : doc.infobox) {
+    if (key != wanted_key) continue;
+    kg::Value parsed;
+    if (!ParseInfoboxValue(meta, value, &parsed)) continue;
+    CandidateFact fact;
+    fact.subject = gap.subject;
+    fact.predicate = gap.predicate;
+    fact.value = parsed;
+    fact.confidence = 0.9;  // rule-based on structured data: precise
+    fact.extractor = ExtractorKind::kInfoboxRule;
+    fact.doc = doc.id;
+    fact.url = doc.url;
+    fact.domain = doc.domain;
+    fact.source_quality = doc.quality;
+    fact.doc_timestamp = doc.timestamp;
+    fact.support = key + ": " + value;
+    out.push_back(std::move(fact));
+  }
+  return out;
+}
+
+std::vector<CandidateFact> TextPatternExtractor::Extract(
+    const websim::WebDocument& doc, const FactGap& gap,
+    const annotation::AnnotatedDocument* annotations) const {
+  std::vector<CandidateFact> out;
+  const kg::PredicateMeta& meta = kg_->ontology().predicate(gap.predicate);
+
+  // Pattern templates per harvested predicate.
+  std::string infix;
+  if (meta.name == "date_of_birth") {
+    infix = " was born on ";
+  } else if (meta.name == "height_cm") {
+    infix = " is ";
+  } else {
+    return out;  // predicate not supported by text patterns
+  }
+
+  const std::string body_lower = Lower(doc.body);
+  const kg::EntityRecord& rec = kg_->catalog().record(gap.subject);
+  for (const std::string& alias : rec.aliases) {
+    const std::string pattern = Lower(alias) + infix;
+    size_t pos = 0;
+    while ((pos = body_lower.find(pattern, pos)) != std::string::npos) {
+      const size_t value_begin = pos + pattern.size();
+      const size_t sentence_end = doc.body.find(". ", value_begin);
+      const size_t value_end = sentence_end == std::string::npos
+                                   ? doc.body.size()
+                                   : sentence_end;
+      const std::string_view value_text =
+          std::string_view(doc.body).substr(value_begin,
+                                            value_end - value_begin);
+      kg::Value parsed;
+      bool ok = false;
+      if (meta.name == "date_of_birth") {
+        kg::Date d;
+        ok = websim::ParseDateLong(value_text, &d);
+        if (ok) parsed = kg::Value::OfDate(d);
+      } else {  // height: "<int> cm tall"
+        char* end = nullptr;
+        const std::string value_str(value_text);
+        const long long v = std::strtoll(value_str.c_str(), &end, 10);
+        if (end != value_str.c_str() &&
+            value_str.find("cm tall") != std::string::npos) {
+          parsed = kg::Value::Int(v);
+          ok = true;
+        }
+      }
+      if (ok) {
+        CandidateFact fact;
+        fact.subject = gap.subject;
+        fact.predicate = gap.predicate;
+        fact.value = parsed;
+        fact.confidence = 0.65;
+        if (AnnotationSupports(annotations, gap.subject, pos,
+                               pos + alias.size())) {
+          // Weak label from web-scale semantic annotation (§4).
+          fact.confidence = 0.8;
+        }
+        fact.extractor = ExtractorKind::kTextPattern;
+        fact.doc = doc.id;
+        fact.url = doc.url;
+        fact.domain = doc.domain;
+        fact.source_quality = doc.quality;
+        fact.doc_timestamp = doc.timestamp;
+        fact.support = std::string(
+            std::string_view(doc.body).substr(pos, value_end - pos));
+        out.push_back(std::move(fact));
+      }
+      pos = value_begin;
+    }
+  }
+  return out;
+}
+
+}  // namespace saga::odke

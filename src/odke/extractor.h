@@ -1,0 +1,90 @@
+#ifndef SAGA_ODKE_EXTRACTOR_H_
+#define SAGA_ODKE_EXTRACTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "annotation/web_linker.h"
+#include "kg/knowledge_graph.h"
+#include "odke/fact_gap.h"
+#include "websim/web_document.h"
+
+namespace saga::odke {
+
+enum class ExtractorKind {
+  kInfoboxRule,   // rule-based over semi-structured data (§4)
+  kTextPattern,   // pattern/"neural" extraction from plain text (§4)
+};
+
+std::string_view ExtractorKindName(ExtractorKind kind);
+
+/// One candidate fact pulled from one document — Fig 6 step 4. Carries
+/// every evidence signal the corroborator consumes.
+struct CandidateFact {
+  kg::EntityId subject;
+  kg::PredicateId predicate;
+  kg::Value value;
+  double confidence = 0.0;
+  ExtractorKind extractor = ExtractorKind::kTextPattern;
+  websim::DocId doc = 0;
+  std::string url;
+  std::string domain;
+  double source_quality = 0.0;
+  int64_t doc_timestamp = 0;
+  /// The sentence / infobox row the value came from.
+  std::string support;
+  /// How well the source document matches the *target* subject's KG
+  /// context (occupation, neighbors), normalized to [0, 1] within a
+  /// gap. Separates the music artist's pages from the actress's when
+  /// both share a name (Fig 6). Filled in by the pipeline.
+  double subject_context = 0.0;
+};
+
+/// Extracts candidate values for (gap.subject, gap.predicate) from one
+/// document. `annotations` (nullable) are the semantic-annotation weak
+/// labels §4 mentions; extractors boost confidence when the subject is
+/// annotated near the evidence.
+class Extractor {
+ public:
+  virtual ~Extractor() = default;
+  virtual ExtractorKind kind() const = 0;
+  virtual std::vector<CandidateFact> Extract(
+      const websim::WebDocument& doc, const FactGap& gap,
+      const annotation::AnnotatedDocument* annotations) const = 0;
+};
+
+/// Rule-based key/value extraction from infobox blocks (schema.org-like
+/// semi-structured data). High precision, only fires when the page is
+/// about the subject.
+class InfoboxExtractor : public Extractor {
+ public:
+  explicit InfoboxExtractor(const kg::KnowledgeGraph* kg) : kg_(kg) {}
+  ExtractorKind kind() const override { return ExtractorKind::kInfoboxRule; }
+  std::vector<CandidateFact> Extract(
+      const websim::WebDocument& doc, const FactGap& gap,
+      const annotation::AnnotatedDocument* annotations) const override;
+
+ private:
+  const kg::KnowledgeGraph* kg_;
+};
+
+/// Template extraction from plain text ("X was born on July 23, 1979",
+/// "X is 185 cm tall"), standing in for the paper's LLM-based text
+/// extractors. Confidence rises when a semantic annotation links the
+/// matched name span to the target subject.
+class TextPatternExtractor : public Extractor {
+ public:
+  explicit TextPatternExtractor(const kg::KnowledgeGraph* kg) : kg_(kg) {}
+  ExtractorKind kind() const override { return ExtractorKind::kTextPattern; }
+  std::vector<CandidateFact> Extract(
+      const websim::WebDocument& doc, const FactGap& gap,
+      const annotation::AnnotatedDocument* annotations) const override;
+
+ private:
+  const kg::KnowledgeGraph* kg_;
+};
+
+}  // namespace saga::odke
+
+#endif  // SAGA_ODKE_EXTRACTOR_H_

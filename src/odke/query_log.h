@@ -1,0 +1,46 @@
+#ifndef SAGA_ODKE_QUERY_LOG_H_
+#define SAGA_ODKE_QUERY_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/kg_generator.h"
+#include "kg/knowledge_graph.h"
+#include "odke/fact_gap.h"
+
+namespace saga::odke {
+
+/// One user query asking for a fact ("michelle williams date of
+/// birth"), already semantically parsed to (subject, predicate).
+struct FactQuery {
+  std::string text;
+  kg::EntityId subject;
+  kg::PredicateId predicate;
+};
+
+/// Synthesizes a popularity-weighted query log over functional facts of
+/// the generated KG (users ask about popular entities more).
+std::vector<FactQuery> GenerateQueryLog(const kg::GeneratedKg& gen,
+                                        size_t num_queries, Rng* rng);
+
+/// Reactive gap mining (§4: "analyzing query logs and finding user
+/// queries that are not answered correctly"): queries the KG cannot
+/// answer become FactGaps, deduplicated, ordered by ask frequency.
+std::vector<FactGap> FindUnansweredQueries(
+    const kg::KnowledgeGraph& kg, const std::vector<FactQuery>& log);
+
+/// Predictive gap mining (§4: "predict new facts missing from the
+/// current knowledge graph by analyzing potential trending queries"):
+/// (subject, predicate) pairs whose ask rate grew by >= `min_growth`x
+/// between the two log windows, asked >= `min_asks` times recently,
+/// and unanswered by the KG. Ordered by growth, steepest first.
+std::vector<FactGap> FindTrendingGaps(const kg::KnowledgeGraph& kg,
+                                      const std::vector<FactQuery>& old_window,
+                                      const std::vector<FactQuery>& new_window,
+                                      double min_growth = 3.0,
+                                      size_t min_asks = 3);
+
+}  // namespace saga::odke
+
+#endif  // SAGA_ODKE_QUERY_LOG_H_

@@ -1,0 +1,50 @@
+#ifndef SAGA_ONDEVICE_DEVICE_DATA_GENERATOR_H_
+#define SAGA_ONDEVICE_DEVICE_DATA_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ondevice/source_record.h"
+
+namespace saga::ondevice {
+
+struct DeviceDataConfig {
+  uint64_t seed = 99;
+  int num_persons = 120;
+  /// Probability a person appears in each source.
+  double contacts_rate = 0.9;
+  double messages_rate = 0.7;
+  double calendar_rate = 0.5;
+  /// Extra duplicate records per person per source (format variants).
+  double duplicate_rate = 0.25;
+  /// Probability a non-contact record uses a short/variant name
+  /// ("Tim" instead of "Timothy Chen").
+  double name_variant_rate = 0.5;
+  /// Fraction of persons deliberately sharing a first name with
+  /// someone else but distinct topics (the two-Tims scenario).
+  double shared_first_name_rate = 0.1;
+};
+
+/// The synthetic "user data ecosystem": raw records from all sources
+/// plus, for evaluation only, the true person behind each record.
+struct DeviceDataset {
+  std::vector<SourceRecord> records;
+  /// truth[i] = ground-truth person index of records[i].
+  std::vector<uint32_t> truth;
+  size_t num_persons = 0;
+  /// Per person: the conversation topics their interactions mention
+  /// (context for the "message Tim about SIGMOD" resolution test).
+  std::vector<std::vector<std::string>> person_topics;
+  /// Per person: full ground-truth name.
+  std::vector<std::string> person_names;
+};
+
+/// Generates overlapping multi-source person records with format
+/// variation, duplicates, and name ambiguity (§5 "Personal KG
+/// Construction" motivating example).
+DeviceDataset GenerateDeviceData(const DeviceDataConfig& config);
+
+}  // namespace saga::ondevice
+
+#endif  // SAGA_ONDEVICE_DEVICE_DATA_GENERATOR_H_

@@ -1,0 +1,108 @@
+#ifndef SAGA_ONDEVICE_ENRICHMENT_H_
+#define SAGA_ONDEVICE_ENRICHMENT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/knowledge_graph.h"
+
+namespace saga::ondevice {
+
+/// Global-knowledge enrichment path 1 (§5): a static asset of popular
+/// entities and their facts, shipped to every device with no
+/// client-side request (so it leaks nothing). Implemented as a
+/// maintainable view over the global KG.
+class StaticKnowledgeAsset {
+ public:
+  struct Options {
+    size_t top_k_entities = 200;
+    size_t max_facts_per_entity = 16;
+  };
+
+  static StaticKnowledgeAsset Build(const kg::KnowledgeGraph& kg,
+                                    Options options);
+
+  bool Contains(kg::EntityId id) const { return facts_.count(id) > 0; }
+  const std::vector<kg::Triple>& FactsFor(kg::EntityId id) const;
+  size_t num_entities() const { return facts_.size(); }
+  size_t num_facts() const { return num_facts_; }
+  /// Approximate shipped size.
+  size_t EstimatedBytes() const;
+  uint64_t version() const { return version_; }
+
+  /// View maintenance: recomputes membership + facts as the global KG
+  /// evolves; bumps the version so devices know to refetch.
+  void Refresh(const kg::KnowledgeGraph& kg);
+
+  /// Incremental maintenance for appended facts: new triples about
+  /// member entities are folded in (respecting the per-entity cap)
+  /// without recomputing membership. Bumps the version only when the
+  /// asset actually changed. Membership changes (popularity shifts)
+  /// still require Refresh().
+  void ApplyDelta(const kg::KnowledgeGraph& kg,
+                  const std::vector<kg::TripleIdx>& added);
+
+ private:
+  Options options_;
+  std::unordered_map<kg::EntityId, std::vector<kg::Triple>> facts_;
+  size_t num_facts_ = 0;
+  uint64_t version_ = 0;
+  std::vector<kg::Triple> empty_;
+};
+
+/// Path 2: piggy-back enrichment. A server interaction about `entity`
+/// ("what's the score in the Blue Jays game?") carries back up to
+/// `max_facts` general facts about it for free.
+std::vector<kg::Triple> PiggybackEnrich(const kg::KnowledgeGraph& kg,
+                                        kg::EntityId entity,
+                                        size_t max_facts);
+
+/// Path 3a: differentially private counting queries against server
+/// knowledge (Laplace mechanism with an epsilon budget).
+class DpCounter {
+ public:
+  DpCounter(double epsilon_per_query, double epsilon_budget, uint64_t seed);
+
+  /// Laplace-noised count; fails closed (returns -1) once the privacy
+  /// budget is exhausted.
+  double NoisyCount(double true_count);
+
+  double epsilon_spent() const { return spent_; }
+  bool budget_exhausted() const { return spent_ >= budget_; }
+
+ private:
+  double epsilon_;
+  double budget_;
+  double spent_ = 0.0;
+  Rng rng_;
+};
+
+/// Path 3b: private information retrieval cost simulator. A PIR fetch
+/// returns the requested entity's facts but the server must touch
+/// every database cell (that is what makes it private) — the cost the
+/// paper calls "expensive ... for high-value use cases".
+class PirServer {
+ public:
+  explicit PirServer(const kg::KnowledgeGraph* kg);
+
+  struct FetchResult {
+    std::vector<kg::Triple> facts;
+    size_t cells_scanned = 0;      // = database size
+    uint64_t bytes_transferred = 0;
+  };
+
+  FetchResult Fetch(kg::EntityId id) const;
+
+  /// Non-private baseline for cost comparison: touches one cell.
+  FetchResult DirectFetch(kg::EntityId id) const;
+
+  size_t database_cells() const { return kg_->num_entities(); }
+
+ private:
+  const kg::KnowledgeGraph* kg_;
+};
+
+}  // namespace saga::ondevice
+
+#endif  // SAGA_ONDEVICE_ENRICHMENT_H_

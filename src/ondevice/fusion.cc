@@ -1,0 +1,38 @@
+#include "ondevice/fusion.h"
+
+#include <algorithm>
+#include <map>
+
+namespace saga::ondevice {
+
+std::vector<FusedPerson> FuseClusters(
+    const std::vector<SourceRecord>& records,
+    const std::vector<uint32_t>& cluster_of) {
+  std::map<uint32_t, FusedPerson> by_cluster;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SourceRecord& rec = records[i];
+    FusedPerson& person = by_cluster[cluster_of[i]];
+    person.cluster = cluster_of[i];
+    if (!rec.name.empty()) {
+      person.names.insert(rec.name);
+      if (rec.name.size() > person.display_name.size()) {
+        person.display_name = rec.name;
+      }
+    }
+    const std::string phone = NormalizePhone(rec.phone);
+    if (!phone.empty()) person.phones.insert(phone);
+    if (!rec.email.empty()) person.emails.insert(rec.email);
+    person.interactions.insert(person.interactions.end(),
+                               rec.interactions.begin(),
+                               rec.interactions.end());
+    person.provenance.push_back(rec.native_id);
+  }
+  std::vector<FusedPerson> out;
+  out.reserve(by_cluster.size());
+  for (auto& [cluster, person] : by_cluster) {
+    out.push_back(std::move(person));
+  }
+  return out;
+}
+
+}  // namespace saga::ondevice

@@ -1,0 +1,34 @@
+#ifndef SAGA_ONDEVICE_FUSION_H_
+#define SAGA_ONDEVICE_FUSION_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ondevice/source_record.h"
+
+namespace saga::ondevice {
+
+/// A consolidated Person entity fused from one record cluster: the
+/// unified representation Fig 7 shows, with attributes merged across
+/// sources and provenance back to each native record.
+struct FusedPerson {
+  uint32_t cluster = 0;
+  std::string display_name;
+  std::set<std::string> names;
+  std::set<std::string> phones;  // normalized
+  std::set<std::string> emails;
+  std::vector<std::string> interactions;
+  /// Native ids of all merged records (provenance).
+  std::vector<std::string> provenance;
+};
+
+/// Merges record clusters into fused persons. Display name = the
+/// longest name seen (most complete form).
+std::vector<FusedPerson> FuseClusters(
+    const std::vector<SourceRecord>& records,
+    const std::vector<uint32_t>& cluster_of);
+
+}  // namespace saga::ondevice
+
+#endif  // SAGA_ONDEVICE_FUSION_H_

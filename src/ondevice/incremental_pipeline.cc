@@ -1,0 +1,230 @@
+#include "ondevice/incremental_pipeline.h"
+
+#include <algorithm>
+
+#include "common/serialization.h"
+#include "ondevice/blocking.h"
+
+namespace saga::ondevice {
+
+IncrementalPipeline::IncrementalPipeline(
+    const std::vector<SourceRecord>* records, Options options)
+    : records_(records), options_(options) {
+  if (records_->empty()) stage_ = Stage::kDone;
+}
+
+void IncrementalPipeline::TrackPeak() {
+  peak_state_bytes_ = std::max(peak_state_bytes_, ApproxStateBytes());
+}
+
+size_t IncrementalPipeline::ApproxStateBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, posting] : postings_) {
+    bytes += key.size() + posting.size() * 4 + 48;
+  }
+  bytes += candidate_pairs_.size() * 40;
+  bytes += pair_list_.size() * 8;
+  bytes += matches_.size() * 8;
+  bytes += clusters_.size() * 4;
+  return bytes;
+}
+
+size_t IncrementalPipeline::RunSteps(size_t max_steps) {
+  size_t executed = 0;
+  while (executed < max_steps && stage_ != Stage::kDone) {
+    switch (stage_) {
+      case Stage::kIngest:
+        StepIngest();
+        break;
+      case Stage::kBlock:
+        StepBlock();
+        break;
+      case Stage::kMatch:
+        StepMatch();
+        break;
+      case Stage::kFuse:
+        StepFuse();
+        break;
+      case Stage::kDone:
+        break;
+    }
+    ++executed;
+    ++steps_executed_;
+    TrackPeak();
+  }
+  return executed;
+}
+
+void IncrementalPipeline::StepIngest() {
+  const SourceRecord& rec = (*records_)[ingest_pos_];
+  for (const std::string& key : Blocker::KeysFor(rec)) {
+    postings_[key].push_back(ingest_pos_);
+  }
+  ++ingest_pos_;
+  if (ingest_pos_ >= records_->size()) {
+    block_keys_.reserve(postings_.size());
+    for (const auto& [key, _] : postings_) block_keys_.push_back(key);
+    stage_ = Stage::kBlock;
+  }
+}
+
+void IncrementalPipeline::StepBlock() {
+  if (block_pos_ < block_keys_.size()) {
+    const std::vector<uint32_t>& block = postings_[block_keys_[block_pos_]];
+    if (block.size() <= options_.max_block_size) {
+      for (size_t a = 0; a < block.size(); ++a) {
+        for (size_t b = a + 1; b < block.size(); ++b) {
+          candidate_pairs_.emplace(std::min(block[a], block[b]),
+                                   std::max(block[a], block[b]));
+        }
+      }
+    }
+    ++block_pos_;
+  }
+  if (block_pos_ >= block_keys_.size()) {
+    pair_list_.assign(candidate_pairs_.begin(), candidate_pairs_.end());
+    candidate_pairs_.clear();
+    postings_.clear();  // bounded memory: drop stage inputs when done
+    stage_ = Stage::kMatch;
+  }
+}
+
+void IncrementalPipeline::StepMatch() {
+  if (pair_pos_ < pair_list_.size()) {
+    const auto& [i, j] = pair_list_[pair_pos_];
+    EntityMatcher matcher(options_.matcher);
+    if (matcher.Matches((*records_)[i], (*records_)[j])) {
+      matches_.emplace_back(i, j);
+    }
+    ++pair_pos_;
+  }
+  if (pair_pos_ >= pair_list_.size()) {
+    stage_ = Stage::kFuse;
+  }
+}
+
+void IncrementalPipeline::StepFuse() {
+  clusters_ = ClusterMatches(records_->size(), matches_);
+  stage_ = Stage::kDone;
+}
+
+std::vector<FusedPerson> IncrementalPipeline::FusedPersons() const {
+  return FuseClusters(*records_, clusters_);
+}
+
+std::string IncrementalPipeline::Checkpoint() const {
+  std::string out;
+  BinaryWriter w(&out);
+  w.PutU8(static_cast<uint8_t>(stage_));
+  w.PutVarint64(steps_executed_);
+  w.PutVarint64(peak_state_bytes_);
+  w.PutVarint64(ingest_pos_);
+  w.PutVarint64(postings_.size());
+  for (const auto& [key, posting] : postings_) {
+    w.PutString(key);
+    w.PutVarint64(posting.size());
+    for (uint32_t idx : posting) w.PutVarint64(idx);
+  }
+  w.PutVarint64(block_keys_.size());
+  for (const auto& key : block_keys_) w.PutString(key);
+  w.PutVarint64(block_pos_);
+  w.PutVarint64(candidate_pairs_.size());
+  for (const auto& [i, j] : candidate_pairs_) {
+    w.PutVarint64(i);
+    w.PutVarint64(j);
+  }
+  w.PutVarint64(pair_list_.size());
+  for (const auto& [i, j] : pair_list_) {
+    w.PutVarint64(i);
+    w.PutVarint64(j);
+  }
+  w.PutVarint64(pair_pos_);
+  w.PutVarint64(matches_.size());
+  for (const auto& [i, j] : matches_) {
+    w.PutVarint64(i);
+    w.PutVarint64(j);
+  }
+  w.PutVarint64(clusters_.size());
+  for (uint32_t c : clusters_) w.PutVarint64(c);
+  return out;
+}
+
+Result<IncrementalPipeline> IncrementalPipeline::Restore(
+    const std::vector<SourceRecord>* records, Options options,
+    std::string_view checkpoint) {
+  IncrementalPipeline p(records, options);
+  BinaryReader r(checkpoint);
+  uint8_t stage = 0;
+  SAGA_RETURN_IF_ERROR(r.GetU8(&stage));
+  if (stage > static_cast<uint8_t>(Stage::kDone)) {
+    return Status::Corruption("bad pipeline stage");
+  }
+  p.stage_ = static_cast<Stage>(stage);
+  uint64_t v = 0;
+  SAGA_RETURN_IF_ERROR(r.GetVarint64(&v));
+  p.steps_executed_ = v;
+  SAGA_RETURN_IF_ERROR(r.GetVarint64(&v));
+  p.peak_state_bytes_ = v;
+  SAGA_RETURN_IF_ERROR(r.GetVarint64(&v));
+  p.ingest_pos_ = static_cast<uint32_t>(v);
+
+  uint64_t n = 0;
+  SAGA_RETURN_IF_ERROR(r.GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string key;
+    SAGA_RETURN_IF_ERROR(r.GetString(&key));
+    uint64_t m = 0;
+    SAGA_RETURN_IF_ERROR(r.GetVarint64(&m));
+    std::vector<uint32_t>& posting = p.postings_[key];
+    posting.resize(m);
+    for (uint64_t j = 0; j < m; ++j) {
+      SAGA_RETURN_IF_ERROR(r.GetVarint64(&v));
+      posting[j] = static_cast<uint32_t>(v);
+    }
+  }
+  SAGA_RETURN_IF_ERROR(r.GetVarint64(&n));
+  p.block_keys_.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SAGA_RETURN_IF_ERROR(r.GetString(&p.block_keys_[i]));
+  }
+  SAGA_RETURN_IF_ERROR(r.GetVarint64(&v));
+  p.block_pos_ = v;
+  SAGA_RETURN_IF_ERROR(r.GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t a = 0;
+    uint64_t b = 0;
+    SAGA_RETURN_IF_ERROR(r.GetVarint64(&a));
+    SAGA_RETURN_IF_ERROR(r.GetVarint64(&b));
+    p.candidate_pairs_.emplace(static_cast<uint32_t>(a),
+                               static_cast<uint32_t>(b));
+  }
+  SAGA_RETURN_IF_ERROR(r.GetVarint64(&n));
+  p.pair_list_.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t a = 0;
+    uint64_t b = 0;
+    SAGA_RETURN_IF_ERROR(r.GetVarint64(&a));
+    SAGA_RETURN_IF_ERROR(r.GetVarint64(&b));
+    p.pair_list_[i] = {static_cast<uint32_t>(a), static_cast<uint32_t>(b)};
+  }
+  SAGA_RETURN_IF_ERROR(r.GetVarint64(&v));
+  p.pair_pos_ = v;
+  SAGA_RETURN_IF_ERROR(r.GetVarint64(&n));
+  p.matches_.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t a = 0;
+    uint64_t b = 0;
+    SAGA_RETURN_IF_ERROR(r.GetVarint64(&a));
+    SAGA_RETURN_IF_ERROR(r.GetVarint64(&b));
+    p.matches_[i] = {static_cast<uint32_t>(a), static_cast<uint32_t>(b)};
+  }
+  SAGA_RETURN_IF_ERROR(r.GetVarint64(&n));
+  p.clusters_.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SAGA_RETURN_IF_ERROR(r.GetVarint64(&v));
+    p.clusters_[i] = static_cast<uint32_t>(v);
+  }
+  return p;
+}
+
+}  // namespace saga::ondevice

@@ -1,0 +1,64 @@
+#include "ondevice/personal_kg.h"
+
+#include <algorithm>
+
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace saga::ondevice {
+
+PersonalKg::PersonalKg(std::vector<FusedPerson> persons)
+    : persons_(std::move(persons)) {
+  interaction_vecs_.reserve(persons_.size());
+  for (const FusedPerson& p : persons_) {
+    std::string all;
+    for (const std::string& s : p.interactions) {
+      all += s;
+      all += " ";
+    }
+    interaction_vecs_.push_back(vectorizer_.Embed(all));
+  }
+}
+
+std::vector<PersonalKg::ResolvedReference> PersonalKg::ResolveReference(
+    std::string_view name, std::string_view context, size_t k) const {
+  const std::string query_name =
+      text::NormalizedTokenString(std::string(name));
+  const std::vector<float> context_vec =
+      context.empty() ? std::vector<float>()
+                      : vectorizer_.Embed(context);
+
+  std::vector<ResolvedReference> out;
+  for (uint32_t i = 0; i < persons_.size(); ++i) {
+    double name_score = 0.0;
+    for (const std::string& pname : persons_[i].names) {
+      const std::string norm = text::NormalizedTokenString(pname);
+      name_score = std::max(name_score, text::JaroWinkler(query_name, norm));
+      // Prefix containment: "tim" refers to "timothy chen".
+      for (const text::Token& t : text::Tokenize(norm)) {
+        if (query_name.size() >= 3 && t.text.rfind(query_name, 0) == 0) {
+          name_score = std::max(name_score, 0.9);
+        }
+      }
+    }
+    if (name_score < 0.6) continue;
+    ResolvedReference ref;
+    ref.person = i;
+    ref.name_score = name_score;
+    if (!context_vec.empty()) {
+      ref.context_score = text::HashingVectorizer::Cosine(
+          context_vec, interaction_vecs_[i]);
+    }
+    ref.score = name_score + 1.5 * ref.context_score;
+    out.push_back(ref);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ResolvedReference& a, const ResolvedReference& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.person < b.person;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace saga::ondevice

@@ -1,0 +1,45 @@
+#ifndef SAGA_ONDEVICE_PERSONAL_KG_H_
+#define SAGA_ONDEVICE_PERSONAL_KG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ondevice/fusion.h"
+#include "text/hashing_vectorizer.h"
+
+namespace saga::ondevice {
+
+/// The on-device personal knowledge graph: fused Person entities plus
+/// contextual reference resolution ("message Tim that I've added
+/// comments to the SIGMOD draft" — rank the coworker Tim above other
+/// Tims, §5 Semantic Annotation).
+class PersonalKg {
+ public:
+  struct ResolvedReference {
+    uint32_t person = 0;  // index into persons()
+    double score = 0.0;
+    double name_score = 0.0;
+    double context_score = 0.0;
+  };
+
+  explicit PersonalKg(std::vector<FusedPerson> persons);
+
+  const std::vector<FusedPerson>& persons() const { return persons_; }
+
+  /// Persons matching the name reference, ranked by name similarity
+  /// blended with context similarity against each person's interaction
+  /// history. `context` may be empty (name-only ranking).
+  std::vector<ResolvedReference> ResolveReference(
+      std::string_view name, std::string_view context,
+      size_t k = 5) const;
+
+ private:
+  std::vector<FusedPerson> persons_;
+  text::HashingVectorizer vectorizer_;
+  std::vector<std::vector<float>> interaction_vecs_;
+};
+
+}  // namespace saga::ondevice
+
+#endif  // SAGA_ONDEVICE_PERSONAL_KG_H_

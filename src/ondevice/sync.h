@@ -1,0 +1,112 @@
+#ifndef SAGA_ONDEVICE_SYNC_H_
+#define SAGA_ONDEVICE_SYNC_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ondevice/fusion.h"
+#include "ondevice/source_record.h"
+
+namespace saga::ondevice {
+
+/// Per-device configuration: which sources it hosts, which it syncs,
+/// and how much compute it has (laptop vs watch; §5 Sync).
+struct DeviceConfig {
+  std::string id;
+  double compute_power = 1.0;
+  /// Sources whose records originate on this device.
+  std::array<bool, kNumSourceKinds> has_source{};
+  /// Per-source sync preference: share + accept records of this source.
+  std::array<bool, kNumSourceKinds> sync_enabled{};
+};
+
+/// Deletion marker replicated alongside records so removals win over
+/// stale re-introductions (LWW with tombstones).
+struct Tombstone {
+  SourceKind source = SourceKind::kContacts;
+  int64_t timestamp = 0;
+};
+
+/// One device's replica: locally hosted records plus records replicated
+/// from peers, merged last-writer-wins by (native_id, timestamp).
+class Device {
+ public:
+  explicit Device(DeviceConfig config) : config_(std::move(config)) {}
+
+  const DeviceConfig& config() const { return config_; }
+
+  void AddLocalRecord(SourceRecord rec);
+
+  /// Deletes a record (locally or by a later sync) at `timestamp`;
+  /// the tombstone replicates to peers that sync the source.
+  void DeleteRecord(const std::string& native_id, SourceKind source,
+                    int64_t timestamp);
+
+  /// LWW merge of a replicated record; returns true if state changed.
+  /// Records older than a matching tombstone are suppressed.
+  bool ApplyRemote(const SourceRecord& rec);
+
+  /// Merges a replicated tombstone; returns true if state changed.
+  bool ApplyRemoteTombstone(const std::string& native_id,
+                            const Tombstone& tombstone);
+
+  const std::map<std::string, Tombstone>& tombstones() const {
+    return tombstones_;
+  }
+
+  /// All records visible on this device, in native_id order.
+  std::vector<SourceRecord> VisibleRecords() const;
+
+  /// Records of one source, in native_id order (for consistency
+  /// checks).
+  std::vector<SourceRecord> RecordsOfSource(SourceKind source) const;
+
+  /// Fused persons, locally computed or adopted from an offload.
+  const std::vector<FusedPerson>& fused() const { return fused_; }
+  void SetFused(std::vector<FusedPerson> fused) { fused_ = std::move(fused); }
+
+ private:
+  DeviceConfig config_;
+  std::map<std::string, SourceRecord> records_;  // by native_id
+  std::map<std::string, Tombstone> tombstones_;  // by native_id
+  std::vector<FusedPerson> fused_;
+};
+
+struct SyncStats {
+  size_t records_sent = 0;
+  uint64_t bytes_sent = 0;
+  int rounds = 0;
+};
+
+/// Pairwise anti-entropy sync: each round, every device sends records
+/// of its sync-enabled sources to every peer that also syncs that
+/// source; repeats until no state changes. Unsynced sources never
+/// leave their device.
+class SyncService {
+ public:
+  SyncStats SyncAll(std::vector<Device>* devices) const;
+
+  /// True when every pair of devices that both sync `source` holds the
+  /// same record set for it.
+  static bool SourcesConsistent(const std::vector<Device>& devices,
+                                SourceKind source);
+};
+
+struct OffloadStats {
+  std::string compute_device;
+  uint64_t bytes_shipped = 0;
+  size_t persons_shipped = 0;
+};
+
+/// Computation offload (§5): the most powerful device runs entity
+/// matching + fusion over its visible records and ships the fused
+/// result to every other device, which adopts it instead of running
+/// the expensive pipeline locally.
+OffloadStats OffloadFusion(std::vector<Device>* devices,
+                           const std::string& spill_dir);
+
+}  // namespace saga::ondevice
+
+#endif  // SAGA_ONDEVICE_SYNC_H_

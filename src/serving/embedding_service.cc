@@ -1,0 +1,111 @@
+#include "serving/embedding_service.h"
+
+#include "ann/brute_force_index.h"
+#include "ann/ivf_index.h"
+#include "ann/quantized_index.h"
+
+namespace saga::serving {
+
+EmbeddingService::EmbeddingService(embedding::EmbeddingStore store,
+                                   const kg::KnowledgeGraph* kg)
+    : EmbeddingService(std::move(store), kg, Options()) {}
+
+EmbeddingService::EmbeddingService(embedding::EmbeddingStore store,
+                                   const kg::KnowledgeGraph* kg,
+                                   Options options)
+    : store_(std::move(store)), kg_(kg), options_(options) {
+  switch (options_.index) {
+    case IndexKind::kExact:
+      index_ = std::make_unique<ann::BruteForceIndex>(store_.dim(),
+                                                      options_.metric);
+      break;
+    case IndexKind::kIvf: {
+      ann::IvfIndex::Options ivf;
+      ivf.num_lists = options_.ivf_lists;
+      ivf.nprobe = options_.ivf_nprobe;
+      index_ = std::make_unique<ann::IvfIndex>(store_.dim(),
+                                               options_.metric, ivf);
+      break;
+    }
+    case IndexKind::kQuantized:
+      index_ = std::make_unique<ann::QuantizedBruteForceIndex>(
+          store_.dim(), options_.metric);
+      break;
+  }
+  for (kg::EntityId id : store_.Ids()) {
+    index_->Add(id.value(), *store_.Get(id));
+  }
+  index_->Build();
+}
+
+Result<std::vector<float>> EmbeddingService::GetEmbedding(
+    kg::EntityId id) const {
+  const std::vector<float>* vec = store_.Get(id);
+  if (vec == nullptr) {
+    return Status::NotFound("no embedding for entity " +
+                            std::to_string(id.value()));
+  }
+  return *vec;
+}
+
+Result<double> EmbeddingService::Similarity(kg::EntityId a,
+                                            kg::EntityId b) const {
+  SAGA_ASSIGN_OR_RETURN(std::vector<float> va, GetEmbedding(a));
+  SAGA_ASSIGN_OR_RETURN(std::vector<float> vb, GetEmbedding(b));
+  return ann::Similarity(options_.metric, va.data(), vb.data(), va.size());
+}
+
+std::vector<double> EmbeddingService::BatchSimilarity(
+    const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs) const {
+  std::vector<double> out;
+  out.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    const std::vector<float>* va = store_.Get(a);
+    const std::vector<float>* vb = store_.Get(b);
+    out.push_back(va == nullptr || vb == nullptr
+                      ? 0.0
+                      : ann::Similarity(options_.metric, va->data(),
+                                        vb->data(), va->size()));
+  }
+  return out;
+}
+
+bool EmbeddingService::PassesTypeFilter(kg::EntityId id,
+                                        kg::TypeId type) const {
+  if (!type.valid()) return true;
+  for (kg::TypeId has : kg_->catalog().record(id).types) {
+    if (kg_->ontology().IsSubtypeOf(has, type)) return true;
+  }
+  return false;
+}
+
+Result<std::vector<std::pair<kg::EntityId, double>>>
+EmbeddingService::TopKNeighbors(kg::EntityId id, size_t k,
+                                kg::TypeId type_filter) const {
+  SAGA_ASSIGN_OR_RETURN(std::vector<float> query, GetEmbedding(id));
+  auto hits = TopKForVector(query, k + 1, type_filter);
+  std::vector<std::pair<kg::EntityId, double>> out;
+  for (const auto& [e, sim] : hits) {
+    if (e == id) continue;
+    out.emplace_back(e, sim);
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+std::vector<std::pair<kg::EntityId, double>> EmbeddingService::TopKForVector(
+    const std::vector<float>& query, size_t k,
+    kg::TypeId type_filter) const {
+  // Over-fetch when filtering so enough survivors remain.
+  const size_t fetch = type_filter.valid() ? k * 8 + 16 : k;
+  std::vector<std::pair<kg::EntityId, double>> out;
+  for (const ann::Neighbor& n : index_->Search(query, fetch)) {
+    const kg::EntityId id(n.label);
+    if (!PassesTypeFilter(id, type_filter)) continue;
+    out.emplace_back(id, n.similarity);
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+}  // namespace saga::serving

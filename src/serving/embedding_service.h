@@ -1,0 +1,75 @@
+#ifndef SAGA_SERVING_EMBEDDING_SERVICE_H_
+#define SAGA_SERVING_EMBEDDING_SERVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ann/index.h"
+#include "common/result.h"
+#include "embedding/embedding_store.h"
+#include "kg/knowledge_graph.h"
+
+namespace saga::serving {
+
+/// The embedding service of Figure 1: vectorized entity representations
+/// with similarity calculation and efficient k-NN retrieval.
+class EmbeddingService {
+ public:
+  enum class IndexKind {
+    kExact,
+    kIvf,
+    /// int8-quantized exact index: 4x smaller, slightly lossy (the
+    /// on-device / compressed serving tier).
+    kQuantized,
+  };
+
+  struct Options {
+    IndexKind index = IndexKind::kExact;
+    ann::Metric metric = ann::Metric::kCosine;
+    int ivf_lists = 32;
+    int ivf_nprobe = 4;
+  };
+
+  EmbeddingService(embedding::EmbeddingStore store,
+                   const kg::KnowledgeGraph* kg);
+  EmbeddingService(embedding::EmbeddingStore store,
+                   const kg::KnowledgeGraph* kg, Options options);
+
+  /// NotFound when the entity has no embedding.
+  Result<std::vector<float>> GetEmbedding(kg::EntityId id) const;
+
+  /// Cosine (or configured metric) similarity between two entities.
+  Result<double> Similarity(kg::EntityId a, kg::EntityId b) const;
+
+  /// Batch inference over candidate entity pairs (§2: "it might
+  /// contain entity pairs for which we need to infer relatedness").
+  /// Pairs with missing embeddings score 0.
+  std::vector<double> BatchSimilarity(
+      const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs) const;
+
+  /// k most similar entities to `id`, excluding itself. `type_filter`
+  /// (optional) restricts hits to entities with that type or a subtype.
+  Result<std::vector<std::pair<kg::EntityId, double>>> TopKNeighbors(
+      kg::EntityId id, size_t k,
+      kg::TypeId type_filter = kg::TypeId::Invalid()) const;
+
+  /// k-NN for an arbitrary query vector.
+  std::vector<std::pair<kg::EntityId, double>> TopKForVector(
+      const std::vector<float>& query, size_t k,
+      kg::TypeId type_filter = kg::TypeId::Invalid()) const;
+
+  const embedding::EmbeddingStore& store() const { return store_; }
+  int dim() const { return store_.dim(); }
+
+ private:
+  bool PassesTypeFilter(kg::EntityId id, kg::TypeId type) const;
+
+  embedding::EmbeddingStore store_;
+  const kg::KnowledgeGraph* kg_;
+  Options options_;
+  std::unique_ptr<ann::VectorIndex> index_;
+};
+
+}  // namespace saga::serving
+
+#endif  // SAGA_SERVING_EMBEDDING_SERVICE_H_

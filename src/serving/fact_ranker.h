@@ -1,0 +1,52 @@
+#ifndef SAGA_SERVING_FACT_RANKER_H_
+#define SAGA_SERVING_FACT_RANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "embedding/trainer.h"
+#include "graph_engine/view.h"
+#include "kg/knowledge_graph.h"
+
+namespace saga::serving {
+
+/// Importance ranking over multi-valued facts (§2 "Fact Ranking": for
+/// "what is the occupation of X?" infer an importance ordering).
+/// Score blends embedding plausibility with the object's popularity
+/// prior; either signal can be ablated via the weights.
+class FactRanker {
+ public:
+  struct Options {
+    double embedding_weight = 1.0;
+    double popularity_weight = 1.0;
+  };
+
+  struct RankedFact {
+    kg::Value object;
+    double score = 0.0;
+    double embedding_score = 0.0;
+    double popularity = 0.0;
+  };
+
+  FactRanker(const kg::KnowledgeGraph* kg,
+             const graph_engine::GraphView* view,
+             const embedding::TrainedEmbeddings* emb);
+  FactRanker(const kg::KnowledgeGraph* kg,
+             const graph_engine::GraphView* view,
+             const embedding::TrainedEmbeddings* emb, Options options);
+
+  /// All objects of (subject, predicate) ranked by blended importance,
+  /// best first.
+  std::vector<RankedFact> Rank(kg::EntityId subject,
+                               kg::PredicateId predicate) const;
+
+ private:
+  const kg::KnowledgeGraph* kg_;
+  const graph_engine::GraphView* view_;
+  const embedding::TrainedEmbeddings* emb_;
+  Options options_;
+};
+
+}  // namespace saga::serving
+
+#endif  // SAGA_SERVING_FACT_RANKER_H_

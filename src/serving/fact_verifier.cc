@@ -1,0 +1,67 @@
+#include "serving/fact_verifier.h"
+
+#include <algorithm>
+
+namespace saga::serving {
+
+FactVerifier::FactVerifier(const graph_engine::GraphView* view,
+                           const embedding::TrainedEmbeddings* emb)
+    : view_(view), emb_(emb) {}
+
+void FactVerifier::Calibrate(
+    const std::vector<graph_engine::ViewEdge>& positives,
+    const std::vector<graph_engine::ViewEdge>& negatives) {
+  // Sweep candidate thresholds (all observed scores) and keep the one
+  // maximizing balanced accuracy.
+  std::vector<std::pair<double, bool>> scored;
+  scored.reserve(positives.size() + negatives.size());
+  for (const auto& e : positives) scored.emplace_back(ScoreLocal(e), true);
+  for (const auto& e : negatives) scored.emplace_back(ScoreLocal(e), false);
+  std::sort(scored.begin(), scored.end());
+
+  const double num_pos = static_cast<double>(positives.size());
+  const double num_neg = static_cast<double>(negatives.size());
+  if (num_pos == 0 || num_neg == 0) {
+    threshold_ = 0.0;
+    return;
+  }
+  // Accepting everything: TPR=1, TNR=0.
+  double best_balanced = 0.5;
+  double best_threshold = scored.front().first - 1.0;
+  double pos_below = 0;
+  double neg_below = 0;
+  for (size_t i = 0; i < scored.size(); ++i) {
+    if (scored[i].second) {
+      ++pos_below;
+    } else {
+      ++neg_below;
+    }
+    const double tpr = (num_pos - pos_below) / num_pos;
+    const double tnr = neg_below / num_neg;
+    const double balanced = (tpr + tnr) / 2.0;
+    if (balanced > best_balanced) {
+      best_balanced = balanced;
+      best_threshold = scored[i].first;
+    }
+  }
+  threshold_ = best_threshold;
+}
+
+FactVerifier::Verdict FactVerifier::Verify(kg::EntityId s, kg::PredicateId p,
+                                           kg::EntityId o) const {
+  Verdict v;
+  const uint32_t ls = view_->local_entity(s);
+  const uint32_t lr = view_->local_relation(p);
+  const uint32_t lo = view_->local_entity(o);
+  if (ls == graph_engine::GraphView::kNotInView ||
+      lr == graph_engine::GraphView::kNotInView ||
+      lo == graph_engine::GraphView::kNotInView) {
+    return v;
+  }
+  v.scorable = true;
+  v.score = emb_->Score(ls, lr, lo);
+  v.plausible = v.score > threshold_;
+  return v;
+}
+
+}  // namespace saga::serving

@@ -1,0 +1,69 @@
+#include "serving/kv_cache.h"
+
+#include "common/serialization.h"
+
+namespace saga::serving {
+
+Result<std::unique_ptr<EmbeddingKvCache>> EmbeddingKvCache::Open(
+    const std::string& dir, size_t memory_budget_bytes) {
+  storage::KvStore::Options opts;
+  opts.use_wal = false;  // cache contents are rebuildable
+  SAGA_ASSIGN_OR_RETURN(auto kv, storage::KvStore::Open(dir, opts));
+  return std::unique_ptr<EmbeddingKvCache>(
+      new EmbeddingKvCache(std::move(kv), memory_budget_bytes));
+}
+
+std::string EmbeddingKvCache::KeyFor(kg::EntityId id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "emb:%016llx",
+                static_cast<unsigned long long>(id.value()));
+  return buf;
+}
+
+std::string EmbeddingKvCache::Encode(const std::vector<float>& vec) {
+  std::string out;
+  BinaryWriter w(&out);
+  w.PutFloatVector(vec);
+  return out;
+}
+
+Result<std::vector<float>> EmbeddingKvCache::Decode(
+    const std::string& bytes) {
+  BinaryReader r(bytes);
+  std::vector<float> vec;
+  SAGA_RETURN_IF_ERROR(r.GetFloatVector(&vec));
+  return vec;
+}
+
+Status EmbeddingKvCache::PutAll(const embedding::EmbeddingStore& store) {
+  for (kg::EntityId id : store.Ids()) {
+    SAGA_RETURN_IF_ERROR(Put(id, *store.Get(id)));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  SAGA_RETURN_IF_ERROR(kv_->Flush());
+  return kv_->CompactAll();
+}
+
+Status EmbeddingKvCache::Put(kg::EntityId id, const std::vector<float>& vec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kv_->Put(KeyFor(id), Encode(vec));
+}
+
+Result<std::vector<float>> EmbeddingKvCache::Get(kg::EntityId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = KeyFor(id);
+  if (auto cached = lru_.Get(key)) {
+    ++stats_.memory_hits;
+    return Decode(*cached);
+  }
+  auto from_disk = kv_->Get(key);
+  if (!from_disk.ok()) {
+    ++stats_.misses;
+    return from_disk.status();
+  }
+  ++stats_.disk_hits;
+  lru_.Put(key, from_disk.value());
+  return Decode(from_disk.value());
+}
+
+}  // namespace saga::serving

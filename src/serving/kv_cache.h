@@ -1,0 +1,61 @@
+#ifndef SAGA_SERVING_KV_CACHE_H_
+#define SAGA_SERVING_KV_CACHE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "embedding/embedding_store.h"
+#include "kg/ids.h"
+#include "serving/lru_cache.h"
+#include "storage/kv_store.h"
+
+namespace saga::serving {
+
+/// Two-tier low-latency embedding cache (§3.2: "precompute entity
+/// embeddings ... and cache the results in a low-latency key-value
+/// store"): in-memory LRU over the disk KV store.
+class EmbeddingKvCache {
+ public:
+  struct Stats {
+    uint64_t memory_hits = 0;
+    uint64_t disk_hits = 0;
+    uint64_t misses = 0;
+  };
+
+  /// Opens the cache at `dir`; `memory_budget_bytes` sizes the LRU tier.
+  static Result<std::unique_ptr<EmbeddingKvCache>> Open(
+      const std::string& dir, size_t memory_budget_bytes);
+
+  /// Bulk-writes all embeddings of a store (the precompute step).
+  Status PutAll(const embedding::EmbeddingStore& store);
+
+  Status Put(kg::EntityId id, const std::vector<float>& vec);
+
+  /// NotFound when the entity was never cached. Thread-safe: the
+  /// annotation pipeline reads profiles from worker threads.
+  Result<std::vector<float>> Get(kg::EntityId id);
+
+  const Stats& stats() const { return stats_; }
+  storage::KvStore* kv() { return kv_.get(); }
+
+ private:
+  EmbeddingKvCache(std::unique_ptr<storage::KvStore> kv,
+                   size_t memory_budget_bytes)
+      : kv_(std::move(kv)), lru_(memory_budget_bytes) {}
+
+  static std::string KeyFor(kg::EntityId id);
+  static std::string Encode(const std::vector<float>& vec);
+  static Result<std::vector<float>> Decode(const std::string& bytes);
+
+  std::mutex mu_;
+  std::unique_ptr<storage::KvStore> kv_;
+  LruCache lru_;
+  Stats stats_;
+};
+
+}  // namespace saga::serving
+
+#endif  // SAGA_SERVING_KV_CACHE_H_

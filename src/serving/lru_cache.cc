@@ -1,0 +1,45 @@
+#include "serving/lru_cache.h"
+
+namespace saga::serving {
+
+void LruCache::Put(const std::string& key, std::string value) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    size_bytes_ -= it->second.value.size();
+    size_bytes_ += value.size();
+    it->second.value = std::move(value);
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second.lru_it = lru_.begin();
+  } else {
+    lru_.push_front(key);
+    size_bytes_ += key.size() + value.size();
+    entries_.emplace(key, Entry{std::move(value), lru_.begin()});
+  }
+  EvictIfNeeded();
+}
+
+std::optional<std::string> LruCache::Get(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+  return it->second.value;
+}
+
+void LruCache::EvictIfNeeded() {
+  while (size_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    size_bytes_ -= victim.size() + it->second.value.size();
+    entries_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace saga::serving

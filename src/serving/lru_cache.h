@@ -1,0 +1,51 @@
+#ifndef SAGA_SERVING_LRU_CACHE_H_
+#define SAGA_SERVING_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace saga::serving {
+
+/// Byte-budgeted LRU cache of string blobs. The in-memory tier in front
+/// of the KV-store embedding cache.
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  void Put(const std::string& key, std::string value);
+  std::optional<std::string> Get(const std::string& key);
+  bool Contains(const std::string& key) const {
+    return entries_.count(key) > 0;
+  }
+
+  size_t size_bytes() const { return size_bytes_; }
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string value;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void EvictIfNeeded();
+
+  size_t capacity_bytes_;
+  size_t size_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<std::string> lru_;  // front = most recent
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace saga::serving
+
+#endif  // SAGA_SERVING_LRU_CACHE_H_

@@ -1,0 +1,61 @@
+#include "storage/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace saga::storage {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  size_t bits = std::max<size_t>(64, expected_keys * bits_per_key);
+  bits_.assign((bits + 7) / 8, 0);
+  // k = ln(2) * bits/key, clamped to a sane range.
+  num_probes_ = std::clamp(
+      static_cast<int>(std::round(bits_per_key * 0.69)), 1, 30);
+}
+
+BloomFilter BloomFilter::FromBytes(std::string_view bytes) {
+  BloomFilter f;
+  if (bytes.empty()) {
+    f.bits_.assign(8, 0);
+    f.num_probes_ = 1;
+    return f;
+  }
+  f.num_probes_ = static_cast<uint8_t>(bytes[0]);
+  if (f.num_probes_ < 1) f.num_probes_ = 1;
+  f.bits_.assign(bytes.begin() + 1, bytes.end());
+  if (f.bits_.empty()) f.bits_.assign(8, 0);
+  return f;
+}
+
+void BloomFilter::Add(std::string_view key) {
+  const uint64_t h1 = Hash64(key);
+  const uint64_t h2 = Mix64(h1);
+  const size_t num_bits = bits_.size() * 8;
+  for (int i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits;
+    bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  const uint64_t h1 = Hash64(key);
+  const uint64_t h2 = Mix64(h1);
+  const size_t num_bits = bits_.size() * 8;
+  for (int i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  out.reserve(1 + bits_.size());
+  out.push_back(static_cast<char>(num_probes_));
+  out.append(reinterpret_cast<const char*>(bits_.data()), bits_.size());
+  return out;
+}
+
+}  // namespace saga::storage

@@ -1,0 +1,206 @@
+#include "storage/external_sorter.h"
+
+#include <algorithm>
+
+#include "common/file_util.h"
+#include "common/serialization.h"
+
+namespace saga::storage {
+
+namespace {
+
+/// Buffered sequential reader over one spilled run file.
+class RunReader {
+ public:
+  explicit RunReader(const std::string& path)
+      : in_(path, std::ios::binary) {}
+
+  bool ok() const { return in_.good() || in_.eof(); }
+
+  /// Reads the next record; returns false at EOF.
+  bool Read(ExternalSorter::Record* rec) {
+    uint32_t klen = 0;
+    uint32_t vlen = 0;
+    if (!ReadU32(&klen) || !ReadU32(&vlen)) return false;
+    rec->key.resize(klen);
+    rec->value.resize(vlen);
+    if (klen > 0 && !in_.read(rec->key.data(), klen)) return false;
+    if (vlen > 0 && !in_.read(rec->value.data(), vlen)) return false;
+    return true;
+  }
+
+ private:
+  bool ReadU32(uint32_t* v) {
+    char buf[4];
+    if (!in_.read(buf, 4)) return false;
+    const unsigned char* p = reinterpret_cast<const unsigned char*>(buf);
+    *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    return true;
+  }
+
+  std::ifstream in_;
+};
+
+void AppendRecord(std::string* out, const ExternalSorter::Record& rec) {
+  BinaryWriter w(out);
+  w.PutFixed32(static_cast<uint32_t>(rec.key.size()));
+  w.PutFixed32(static_cast<uint32_t>(rec.value.size()));
+  out->append(rec.key);
+  out->append(rec.value);
+}
+
+/// Iterator over the in-memory buffer only (no spills happened).
+class MemoryIterator : public ExternalSorter::Iterator {
+ public:
+  explicit MemoryIterator(std::vector<ExternalSorter::Record> records)
+      : records_(std::move(records)) {}
+
+  bool Valid() const override { return pos_ < records_.size(); }
+  const ExternalSorter::Record& Current() const override {
+    return records_[pos_];
+  }
+  Status Next() override {
+    ++pos_;
+    return Status::OK();
+  }
+
+ private:
+  std::vector<ExternalSorter::Record> records_;
+  size_t pos_ = 0;
+};
+
+/// K-way merge over spilled runs plus an optional final in-memory run.
+class MergeIterator : public ExternalSorter::Iterator {
+ public:
+  MergeIterator(const std::vector<std::string>& run_paths,
+                std::vector<ExternalSorter::Record> tail, Status* status) {
+    for (const auto& path : run_paths) {
+      auto reader = std::make_unique<RunReader>(path);
+      ExternalSorter::Record rec;
+      if (reader->Read(&rec)) {
+        heap_.push(HeapItem{std::move(rec), sources_.size()});
+        sources_.push_back(std::move(reader));
+      } else if (!reader->ok()) {
+        *status = Status::IOError("cannot read spill run: " + path);
+        return;
+      }
+    }
+    std::sort(tail.begin(), tail.end(),
+              [](const auto& a, const auto& b) { return a.key < b.key; });
+    tail_ = std::move(tail);
+    if (tail_pos_ < tail_.size()) {
+      heap_.push(HeapItem{tail_[tail_pos_++], kTailSource});
+    }
+    *status = Status::OK();
+    Advance();
+  }
+
+  bool Valid() const override { return valid_; }
+  const ExternalSorter::Record& Current() const override { return current_; }
+
+  Status Next() override {
+    Advance();
+    return Status::OK();
+  }
+
+ private:
+  static constexpr size_t kTailSource = static_cast<size_t>(-1);
+
+  struct HeapItem {
+    ExternalSorter::Record rec;
+    size_t source;
+    bool operator>(const HeapItem& other) const {
+      return rec.key > other.rec.key;
+    }
+  };
+
+  void Advance() {
+    if (heap_.empty()) {
+      valid_ = false;
+      return;
+    }
+    HeapItem top = heap_.top();
+    heap_.pop();
+    current_ = std::move(top.rec);
+    valid_ = true;
+    if (top.source == kTailSource) {
+      if (tail_pos_ < tail_.size()) {
+        heap_.push(HeapItem{tail_[tail_pos_++], kTailSource});
+      }
+    } else {
+      ExternalSorter::Record next;
+      if (sources_[top.source]->Read(&next)) {
+        heap_.push(HeapItem{std::move(next), top.source});
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<RunReader>> sources_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  std::vector<ExternalSorter::Record> tail_;
+  size_t tail_pos_ = 0;
+  ExternalSorter::Record current_;
+  bool valid_ = false;
+};
+
+}  // namespace
+
+ExternalSorter::ExternalSorter(Options options)
+    : options_(std::move(options)) {}
+
+ExternalSorter::~ExternalSorter() {
+  for (const auto& path : run_paths_) {
+    (void)RemoveFileIfExists(path);
+  }
+}
+
+Status ExternalSorter::Add(std::string_view key, std::string_view value) {
+  if (finished_) {
+    return Status::FailedPrecondition("Add after Sort()");
+  }
+  buffer_.push_back(Record{std::string(key), std::string(value)});
+  buffer_bytes_ += key.size() + value.size() + 48;
+  peak_buffer_bytes_ = std::max(peak_buffer_bytes_, buffer_bytes_);
+  if (buffer_bytes_ >= options_.memory_budget_bytes) {
+    return SpillBuffer();
+  }
+  return Status::OK();
+}
+
+Status ExternalSorter::SpillBuffer() {
+  if (buffer_.empty()) return Status::OK();
+  SAGA_RETURN_IF_ERROR(CreateDirIfMissing(options_.spill_dir));
+  std::sort(buffer_.begin(), buffer_.end(),
+            [](const Record& a, const Record& b) { return a.key < b.key; });
+  std::string data;
+  data.reserve(buffer_bytes_);
+  for (const auto& rec : buffer_) AppendRecord(&data, rec);
+  const std::string path = JoinPath(
+      options_.spill_dir, "run_" + std::to_string(run_paths_.size()) + ".dat");
+  SAGA_RETURN_IF_ERROR(WriteStringToFile(path, data));
+  run_paths_.push_back(path);
+  bytes_spilled_ += data.size();
+  buffer_.clear();
+  buffer_bytes_ = 0;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ExternalSorter::Iterator>> ExternalSorter::Sort() {
+  if (finished_) return Status::FailedPrecondition("Sort() called twice");
+  finished_ = true;
+  if (run_paths_.empty()) {
+    std::sort(buffer_.begin(), buffer_.end(),
+              [](const Record& a, const Record& b) { return a.key < b.key; });
+    return std::unique_ptr<Iterator>(
+        std::make_unique<MemoryIterator>(std::move(buffer_)));
+  }
+  Status status;
+  auto it = std::make_unique<MergeIterator>(run_paths_, std::move(buffer_),
+                                            &status);
+  SAGA_RETURN_IF_ERROR(status);
+  return std::unique_ptr<Iterator>(std::move(it));
+}
+
+}  // namespace saga::storage

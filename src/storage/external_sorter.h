@@ -1,0 +1,71 @@
+#ifndef SAGA_STORAGE_EXTERNAL_SORTER_H_
+#define SAGA_STORAGE_EXTERNAL_SORTER_H_
+
+#include <fstream>
+#include <memory>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace saga::storage {
+
+/// Bounded-memory sort of (key, value) records: buffers up to
+/// `memory_budget_bytes`, spills sorted runs to disk, then streams a
+/// k-way merge. Backs the on-device blocking stage (§5: "expensive
+/// computations spill to disk as necessary").
+class ExternalSorter {
+ public:
+  struct Options {
+    size_t memory_budget_bytes = 1 << 20;
+    std::string spill_dir;  // required
+  };
+
+  struct Record {
+    std::string key;
+    std::string value;
+  };
+
+  /// Streaming consumer of the merged output.
+  class Iterator {
+   public:
+    virtual ~Iterator() = default;
+    virtual bool Valid() const = 0;
+    virtual const Record& Current() const = 0;
+    virtual Status Next() = 0;
+  };
+
+  explicit ExternalSorter(Options options);
+  ~ExternalSorter();
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  Status Add(std::string_view key, std::string_view value);
+
+  /// Finalizes input and returns a sorted iterator (stable within equal
+  /// keys is NOT guaranteed). May be called once.
+  Result<std::unique_ptr<Iterator>> Sort();
+
+  size_t runs_spilled() const { return run_paths_.size(); }
+  uint64_t bytes_spilled() const { return bytes_spilled_; }
+  size_t peak_buffer_bytes() const { return peak_buffer_bytes_; }
+
+ private:
+  Status SpillBuffer();
+
+  Options options_;
+  std::vector<Record> buffer_;
+  size_t buffer_bytes_ = 0;
+  size_t peak_buffer_bytes_ = 0;
+  uint64_t bytes_spilled_ = 0;
+  std::vector<std::string> run_paths_;
+  bool finished_ = false;
+};
+
+}  // namespace saga::storage
+
+#endif  // SAGA_STORAGE_EXTERNAL_SORTER_H_

@@ -1,0 +1,217 @@
+#include "storage/kv_store.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/file_util.h"
+#include "common/serialization.h"
+
+namespace saga::storage {
+
+namespace {
+constexpr uint8_t kOpPut = 1;
+constexpr uint8_t kOpDelete = 2;
+constexpr char kSstPrefix[] = "sst_";
+}  // namespace
+
+KvStore::KvStore(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {}
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(const std::string& dir) {
+  return Open(dir, Options());
+}
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(const std::string& dir,
+                                               Options options) {
+  SAGA_RETURN_IF_ERROR(CreateDirIfMissing(dir));
+  auto store = std::unique_ptr<KvStore>(new KvStore(dir, options));
+  SAGA_RETURN_IF_ERROR(store->Recover());
+  return store;
+}
+
+std::string KvStore::SstPath(uint64_t seq) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%08llu.sst", kSstPrefix,
+                static_cast<unsigned long long>(seq));
+  return JoinPath(dir_, buf);
+}
+
+std::string KvStore::WalPath() const { return JoinPath(dir_, "wal.log"); }
+
+Status KvStore::Recover() {
+  SAGA_ASSIGN_OR_RETURN(std::vector<std::string> files, ListDir(dir_));
+  for (const auto& name : files) {
+    if (name.rfind(kSstPrefix, 0) != 0) continue;
+    SAGA_ASSIGN_OR_RETURN(auto reader, SSTableReader::Open(JoinPath(dir_, name)));
+    sstables_.push_back(std::move(reader));
+    const uint64_t seq =
+        std::strtoull(name.c_str() + sizeof(kSstPrefix) - 1, nullptr, 10);
+    next_sst_seq_ = std::max(next_sst_seq_, seq + 1);
+  }
+  // ListDir sorts lexicographically and seq numbers are zero-padded, so
+  // sstables_ is already oldest-first.
+
+  if (options_.use_wal) {
+    SAGA_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                          ReadWalRecords(WalPath()));
+    for (const auto& rec : records) {
+      BinaryReader r(rec);
+      uint8_t op = 0;
+      std::string key;
+      std::string value;
+      SAGA_RETURN_IF_ERROR(r.GetU8(&op));
+      SAGA_RETURN_IF_ERROR(r.GetString(&key));
+      SAGA_RETURN_IF_ERROR(r.GetString(&value));
+      if (op == kOpPut) {
+        memtable_.Put(key, value);
+      } else if (op == kOpDelete) {
+        memtable_.Delete(key);
+      } else {
+        return Status::Corruption("bad WAL op " + std::to_string(op));
+      }
+    }
+    wal_ = std::make_unique<WalWriter>(WalPath());
+    SAGA_RETURN_IF_ERROR(wal_->Open());
+  }
+  return Status::OK();
+}
+
+Status KvStore::LogOp(uint8_t op, std::string_view key,
+                      std::string_view value) {
+  if (!options_.use_wal) return Status::OK();
+  std::string rec;
+  BinaryWriter w(&rec);
+  w.PutU8(op);
+  w.PutString(key);
+  w.PutString(value);
+  SAGA_RETURN_IF_ERROR(wal_->Append(rec));
+  if (options_.sync_every_write) SAGA_RETURN_IF_ERROR(wal_->Sync());
+  return Status::OK();
+}
+
+Status KvStore::Put(std::string_view key, std::string_view value) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  SAGA_RETURN_IF_ERROR(LogOp(kOpPut, key, value));
+  memtable_.Put(key, value);
+  ++stats_.puts;
+  return MaybeFlush();
+}
+
+Status KvStore::Delete(std::string_view key) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  SAGA_RETURN_IF_ERROR(LogOp(kOpDelete, key, ""));
+  memtable_.Delete(key);
+  ++stats_.deletes;
+  return MaybeFlush();
+}
+
+Result<std::string> KvStore::Get(std::string_view key) {
+  ++stats_.gets;
+  if (auto entry = memtable_.Get(key)) {
+    if (entry->is_tombstone) {
+      return Status::NotFound(std::string(key));
+    }
+    return entry->value;
+  }
+  for (auto it = sstables_.rbegin(); it != sstables_.rend(); ++it) {
+    if ((*it)->DefinitelyMissing(key)) {
+      ++stats_.bloom_skips;
+      continue;
+    }
+    ++stats_.sstable_probes;
+    if (auto entry = (*it)->Get(key)) {
+      if (entry->is_tombstone) return Status::NotFound(std::string(key));
+      return std::move(entry->value);
+    }
+  }
+  return Status::NotFound(std::string(key));
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> KvStore::ScanPrefix(
+    std::string_view prefix) {
+  // Newest-wins merge across memtable and all tables.
+  std::map<std::string, MemTable::Entry> merged;
+  for (const auto& sst : sstables_) {  // oldest first; later inserts win
+    for (auto& e : sst->ScanPrefix(prefix)) {
+      merged[std::move(e.key)] =
+          MemTable::Entry{std::move(e.value), e.is_tombstone};
+    }
+  }
+  for (const auto& [key, entry] : memtable_.entries()) {
+    if (key.compare(0, prefix.size(), prefix) == 0) {
+      merged[key] = entry;
+    }
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto& [key, entry] : merged) {
+    if (!entry.is_tombstone) out.emplace_back(key, std::move(entry.value));
+  }
+  return out;
+}
+
+Status KvStore::MaybeFlush() {
+  if (memtable_.ApproximateBytes() < options_.memtable_max_bytes) {
+    return Status::OK();
+  }
+  return Flush();
+}
+
+Status KvStore::Flush() {
+  if (memtable_.empty()) return Status::OK();
+  SSTableBuilder::Options bopts;
+  bopts.bits_per_key = options_.bloom_bits_per_key;
+  bopts.index_interval = options_.index_interval;
+  SSTableBuilder builder(bopts);
+  for (const auto& [key, entry] : memtable_.entries()) {
+    SAGA_RETURN_IF_ERROR(builder.Add(key, entry.value, entry.is_tombstone));
+  }
+  const std::string path = SstPath(next_sst_seq_++);
+  SAGA_RETURN_IF_ERROR(builder.Finish(path, memtable_.size()));
+  SAGA_ASSIGN_OR_RETURN(auto reader, SSTableReader::Open(path));
+  stats_.bytes_flushed += reader->file_bytes();
+  sstables_.push_back(std::move(reader));
+  memtable_.Clear();
+  ++stats_.flushes;
+  if (options_.use_wal) SAGA_RETURN_IF_ERROR(wal_->Reset());
+  if (options_.auto_compact_trigger > 0 &&
+      static_cast<int>(sstables_.size()) > options_.auto_compact_trigger) {
+    SAGA_RETURN_IF_ERROR(CompactAll());
+  }
+  return Status::OK();
+}
+
+Status KvStore::CompactAll() {
+  if (sstables_.size() <= 1) return Status::OK();
+  std::map<std::string, MemTable::Entry> merged;
+  for (const auto& sst : sstables_) {  // oldest first
+    for (auto& e : sst->ScanAll()) {
+      merged[std::move(e.key)] =
+          MemTable::Entry{std::move(e.value), e.is_tombstone};
+    }
+  }
+  SSTableBuilder::Options bopts;
+  bopts.bits_per_key = options_.bloom_bits_per_key;
+  bopts.index_interval = options_.index_interval;
+  SSTableBuilder builder(bopts);
+  for (const auto& [key, entry] : merged) {
+    // Tombstones can be dropped entirely: nothing older remains.
+    if (entry.is_tombstone) continue;
+    SAGA_RETURN_IF_ERROR(builder.Add(key, entry.value, false));
+  }
+  const std::string path = SstPath(next_sst_seq_++);
+  SAGA_RETURN_IF_ERROR(builder.Finish(path, merged.size()));
+  SAGA_ASSIGN_OR_RETURN(auto reader, SSTableReader::Open(path));
+
+  std::vector<std::string> old_paths;
+  old_paths.reserve(sstables_.size());
+  for (const auto& sst : sstables_) old_paths.push_back(sst->path());
+  sstables_.clear();
+  sstables_.push_back(std::move(reader));
+  for (const auto& p : old_paths) {
+    SAGA_RETURN_IF_ERROR(RemoveFileIfExists(p));
+  }
+  ++stats_.compactions;
+  return Status::OK();
+}
+
+}  // namespace saga::storage

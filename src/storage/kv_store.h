@@ -1,0 +1,99 @@
+#ifndef SAGA_STORAGE_KV_STORE_H_
+#define SAGA_STORAGE_KV_STORE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/memtable.h"
+#include "storage/sstable.h"
+#include "storage/wal.h"
+
+namespace saga::storage {
+
+/// Log-structured KV store: WAL + memtable + a stack of SSTables with
+/// bloom filters and full compaction. Serves as (a) the low-latency
+/// embedding cache behind the semantic-annotation reranker (§3.2) and
+/// (b) the spill/checkpoint target for on-device construction (§5).
+class KvStore {
+ public:
+  struct Options {
+    /// Flush the memtable to an SSTable once it exceeds this budget.
+    /// The on-device pipeline tunes this down to run in tens of KiB.
+    size_t memtable_max_bytes = 4 << 20;
+    int bloom_bits_per_key = 10;
+    int index_interval = 16;
+    /// Disable to trade durability for ingest speed (bulk loads).
+    bool use_wal = true;
+    /// fsync-ish flush after every write.
+    bool sync_every_write = false;
+    /// When > 0, a flush that leaves more than this many SSTables
+    /// triggers CompactAll automatically (simple tiered compaction,
+    /// bounding read amplification).
+    int auto_compact_trigger = 0;
+  };
+
+  struct Stats {
+    uint64_t puts = 0;
+    uint64_t deletes = 0;
+    uint64_t gets = 0;
+    uint64_t bloom_skips = 0;     // SSTable probes avoided by bloom
+    uint64_t sstable_probes = 0;  // SSTable Get() calls actually made
+    uint64_t flushes = 0;
+    uint64_t compactions = 0;
+    uint64_t bytes_flushed = 0;
+  };
+
+  /// Opens (or creates) a store in `dir`, replaying any WAL tail.
+  static Result<std::unique_ptr<KvStore>> Open(const std::string& dir,
+                                               Options options);
+  static Result<std::unique_ptr<KvStore>> Open(const std::string& dir);
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+  Result<std::string> Get(std::string_view key);
+
+  /// Key/value pairs whose key starts with `prefix`, in key order.
+  Result<std::vector<std::pair<std::string, std::string>>> ScanPrefix(
+      std::string_view prefix);
+
+  /// Forces the memtable to disk.
+  Status Flush();
+
+  /// Merges all SSTables into one, dropping tombstones and shadowed
+  /// versions.
+  Status CompactAll();
+
+  size_t num_sstables() const { return sstables_.size(); }
+  size_t memtable_bytes() const { return memtable_.ApproximateBytes(); }
+  const Stats& stats() const { return stats_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  KvStore(std::string dir, Options options);
+
+  Status Recover();
+  Status MaybeFlush();
+  std::string SstPath(uint64_t seq) const;
+  std::string WalPath() const;
+  Status LogOp(uint8_t op, std::string_view key, std::string_view value);
+
+  std::string dir_;
+  Options options_;
+  MemTable memtable_;
+  /// Newest last; lookup walks back-to-front.
+  std::vector<std::shared_ptr<SSTableReader>> sstables_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t next_sst_seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace saga::storage
+
+#endif  // SAGA_STORAGE_KV_STORE_H_

@@ -1,0 +1,44 @@
+#ifndef SAGA_STORAGE_MEMTABLE_H_
+#define SAGA_STORAGE_MEMTABLE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace saga::storage {
+
+/// In-memory sorted write buffer. Deletions are tombstones so they can
+/// shadow older SSTable entries until compaction drops them.
+class MemTable {
+ public:
+  struct Entry {
+    std::string value;
+    bool is_tombstone = false;
+  };
+
+  void Put(std::string_view key, std::string_view value);
+  void Delete(std::string_view key);
+
+  /// nullopt = key unknown here (check older levels); an entry with
+  /// is_tombstone = true means "definitely deleted".
+  std::optional<Entry> Get(std::string_view key) const;
+
+  size_t ApproximateBytes() const { return approximate_bytes_; }
+  size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+  void Clear();
+
+  /// Sorted iteration over all entries including tombstones.
+  const std::map<std::string, Entry, std::less<>>& entries() const {
+    return table_;
+  }
+
+ private:
+  std::map<std::string, Entry, std::less<>> table_;
+  size_t approximate_bytes_ = 0;
+};
+
+}  // namespace saga::storage
+
+#endif  // SAGA_STORAGE_MEMTABLE_H_

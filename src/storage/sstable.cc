@@ -1,0 +1,189 @@
+#include "storage/sstable.h"
+
+#include <algorithm>
+
+#include "common/file_util.h"
+#include "common/serialization.h"
+#include "storage/wal.h"  // Crc32
+
+namespace saga::storage {
+
+namespace {
+constexpr uint32_t kSstMagic = 0x53535431u;  // "SST1"
+constexpr size_t kFooterSize = 8 * 5 + 4 + 4;
+constexpr uint8_t kTypeValue = 0;
+constexpr uint8_t kTypeTombstone = 1;
+}  // namespace
+
+SSTableBuilder::SSTableBuilder() : SSTableBuilder(Options()) {}
+
+SSTableBuilder::SSTableBuilder(Options options) : options_(options) {}
+
+Status SSTableBuilder::Add(std::string_view key, std::string_view value,
+                           bool is_tombstone) {
+  if (num_entries_ > 0 && std::string_view(last_key_) >= key) {
+    return Status::InvalidArgument("SSTable keys must be strictly increasing");
+  }
+  if (num_entries_ % static_cast<size_t>(options_.index_interval) == 0) {
+    index_.emplace_back(std::string(key), data_.size());
+  }
+  BinaryWriter w(&data_);
+  w.PutU8(is_tombstone ? kTypeTombstone : kTypeValue);
+  w.PutString(key);
+  w.PutString(is_tombstone ? std::string_view() : value);
+  keys_for_bloom_.emplace_back(key);
+  last_key_.assign(key);
+  ++num_entries_;
+  return Status::OK();
+}
+
+Status SSTableBuilder::Finish(const std::string& path, size_t expected_keys) {
+  BloomFilter bloom(std::max(expected_keys, keys_for_bloom_.size()),
+                    options_.bits_per_key);
+  for (const auto& k : keys_for_bloom_) bloom.Add(k);
+
+  std::string file = std::move(data_);
+  const uint64_t index_off = file.size();
+  {
+    BinaryWriter w(&file);
+    for (const auto& [key, off] : index_) {
+      w.PutString(key);
+      w.PutVarint64(off);
+    }
+  }
+  const uint64_t index_len = file.size() - index_off;
+  const uint64_t bloom_off = file.size();
+  const std::string bloom_bytes = bloom.Serialize();
+  file.append(bloom_bytes);
+  const uint64_t bloom_len = bloom_bytes.size();
+
+  BinaryWriter w(&file);
+  w.PutFixed64(index_off);
+  w.PutFixed64(index_len);
+  w.PutFixed64(bloom_off);
+  w.PutFixed64(bloom_len);
+  w.PutFixed64(num_entries_);
+  w.PutFixed32(Crc32(std::string_view(file.data(), index_off)));
+  w.PutFixed32(kSstMagic);
+  return WriteStringToFile(path, file);
+}
+
+Result<std::shared_ptr<SSTableReader>> SSTableReader::Open(
+    const std::string& path) {
+  SAGA_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  auto reader = std::shared_ptr<SSTableReader>(
+      new SSTableReader(path, std::move(data), BloomFilter::FromBytes("")));
+  SAGA_RETURN_IF_ERROR(reader->ParseFooterAndIndex());
+  return reader;
+}
+
+Status SSTableReader::ParseFooterAndIndex() {
+  if (data_.size() < kFooterSize) {
+    return Status::Corruption("SSTable too small: " + path_);
+  }
+  BinaryReader r(
+      std::string_view(data_).substr(data_.size() - kFooterSize));
+  uint64_t index_off = 0;
+  uint64_t index_len = 0;
+  uint64_t bloom_off = 0;
+  uint64_t bloom_len = 0;
+  uint32_t crc = 0;
+  uint32_t magic = 0;
+  SAGA_RETURN_IF_ERROR(r.GetFixed64(&index_off));
+  SAGA_RETURN_IF_ERROR(r.GetFixed64(&index_len));
+  SAGA_RETURN_IF_ERROR(r.GetFixed64(&bloom_off));
+  SAGA_RETURN_IF_ERROR(r.GetFixed64(&bloom_len));
+  SAGA_RETURN_IF_ERROR(r.GetFixed64(&num_entries_));
+  SAGA_RETURN_IF_ERROR(r.GetFixed32(&crc));
+  SAGA_RETURN_IF_ERROR(r.GetFixed32(&magic));
+  if (magic != kSstMagic) {
+    return Status::Corruption("bad SSTable magic: " + path_);
+  }
+  if (index_off + index_len > data_.size() ||
+      bloom_off + bloom_len > data_.size()) {
+    return Status::Corruption("SSTable footer offsets out of range: " + path_);
+  }
+  if (Crc32(std::string_view(data_.data(), index_off)) != crc) {
+    return Status::Corruption("SSTable data crc mismatch: " + path_);
+  }
+  entries_end_ = index_off;
+  bloom_ = BloomFilter::FromBytes(
+      std::string_view(data_.data() + bloom_off, bloom_len));
+  BinaryReader idx(std::string_view(data_.data() + index_off, index_len));
+  while (!idx.AtEnd()) {
+    std::string key;
+    uint64_t off = 0;
+    SAGA_RETURN_IF_ERROR(idx.GetString(&key));
+    SAGA_RETURN_IF_ERROR(idx.GetVarint64(&off));
+    index_.emplace_back(std::move(key), off);
+  }
+  return Status::OK();
+}
+
+Status SSTableReader::DecodeEntry(uint64_t* off, Entry* out) const {
+  BinaryReader r(std::string_view(data_.data() + *off, entries_end_ - *off));
+  uint8_t type = 0;
+  SAGA_RETURN_IF_ERROR(r.GetU8(&type));
+  SAGA_RETURN_IF_ERROR(r.GetString(&out->key));
+  SAGA_RETURN_IF_ERROR(r.GetString(&out->value));
+  out->is_tombstone = (type == kTypeTombstone);
+  *off += r.position();
+  return Status::OK();
+}
+
+uint64_t SSTableReader::SeekOffset(std::string_view key) const {
+  if (index_.empty()) return 0;
+  // Last index entry with key <= target.
+  auto it = std::upper_bound(
+      index_.begin(), index_.end(), key,
+      [](std::string_view k, const std::pair<std::string, uint64_t>& e) {
+        return k < std::string_view(e.first);
+      });
+  if (it == index_.begin()) return 0;
+  return std::prev(it)->second;
+}
+
+std::optional<SSTableReader::Entry> SSTableReader::Get(
+    std::string_view key) const {
+  if (!bloom_.MayContain(key)) return std::nullopt;
+  uint64_t off = SeekOffset(key);
+  Entry e;
+  while (off < entries_end_) {
+    if (!DecodeEntry(&off, &e).ok()) return std::nullopt;
+    if (e.key == key) return e;
+    if (std::string_view(e.key) > key) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::vector<SSTableReader::Entry> SSTableReader::ScanPrefix(
+    std::string_view prefix) const {
+  std::vector<Entry> out;
+  uint64_t off = prefix.empty() ? 0 : SeekOffset(prefix);
+  Entry e;
+  while (off < entries_end_) {
+    if (!DecodeEntry(&off, &e).ok()) break;
+    if (std::string_view(e.key) >= prefix) {
+      if (e.key.compare(0, prefix.size(), prefix) != 0) {
+        if (std::string_view(e.key) > prefix) break;
+      } else {
+        out.push_back(e);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SSTableReader::Entry> SSTableReader::ScanAll() const {
+  std::vector<Entry> out;
+  out.reserve(num_entries_);
+  uint64_t off = 0;
+  Entry e;
+  while (off < entries_end_) {
+    if (!DecodeEntry(&off, &e).ok()) break;
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace saga::storage

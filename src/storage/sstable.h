@@ -1,0 +1,111 @@
+#ifndef SAGA_STORAGE_SSTABLE_H_
+#define SAGA_STORAGE_SSTABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/bloom.h"
+
+namespace saga::storage {
+
+/// Immutable sorted string table.
+///
+/// File layout:
+///   entries:  (u8 type | varint klen | key | varint vlen | value)*
+///   sparse index: (varint klen | key | varint offset)*   every Nth key
+///   bloom: raw bloom bytes
+///   footer: fixed64 index_off | fixed64 index_len |
+///           fixed64 bloom_off | fixed64 bloom_len |
+///           fixed64 num_entries | fixed32 crc(all preceding) |
+///           fixed32 magic
+class SSTableBuilder {
+ public:
+  struct Options {
+    int bits_per_key = 10;
+    int index_interval = 16;
+  };
+
+  SSTableBuilder();
+  explicit SSTableBuilder(Options options);
+
+  /// Keys must be added in strictly increasing order.
+  /// A tombstone is encoded with type = 1 and empty value.
+  Status Add(std::string_view key, std::string_view value,
+             bool is_tombstone = false);
+
+  /// Writes the finished table to `path` (atomic).
+  Status Finish(const std::string& path, size_t expected_keys);
+
+  size_t num_entries() const { return num_entries_; }
+
+ private:
+  Options options_;
+  std::string data_;
+  std::vector<std::pair<std::string, uint64_t>> index_;
+  std::vector<std::string> keys_for_bloom_;
+  std::string last_key_;
+  size_t num_entries_ = 0;
+};
+
+/// Reader over one SSTable. Loads the file once; lookups binary-search
+/// the sparse index then scan at most `index_interval` entries.
+class SSTableReader {
+ public:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool is_tombstone = false;
+  };
+
+  static Result<std::shared_ptr<SSTableReader>> Open(const std::string& path);
+
+  /// nullopt when the key is not in this table. Tombstones are returned
+  /// (caller decides visibility).
+  std::optional<Entry> Get(std::string_view key) const;
+
+  /// All entries with the given prefix, in key order (tombstones
+  /// included).
+  std::vector<Entry> ScanPrefix(std::string_view prefix) const;
+
+  /// All entries in key order.
+  std::vector<Entry> ScanAll() const;
+
+  uint64_t num_entries() const { return num_entries_; }
+  size_t file_bytes() const { return data_.size(); }
+  const std::string& path() const { return path_; }
+
+  /// True if the bloom filter rules the key out (definite miss).
+  bool DefinitelyMissing(std::string_view key) const {
+    return !bloom_.MayContain(key);
+  }
+
+ private:
+  SSTableReader(std::string path, std::string data, BloomFilter bloom)
+      : path_(std::move(path)),
+        data_(std::move(data)),
+        bloom_(std::move(bloom)) {}
+
+  Status ParseFooterAndIndex();
+
+  /// Decodes the entry at byte offset `off`; advances *off past it.
+  Status DecodeEntry(uint64_t* off, Entry* out) const;
+
+  /// Largest indexed offset whose key <= `key`.
+  uint64_t SeekOffset(std::string_view key) const;
+
+  std::string path_;
+  std::string data_;
+  BloomFilter bloom_;
+  std::vector<std::pair<std::string, uint64_t>> index_;
+  uint64_t entries_end_ = 0;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace saga::storage
+
+#endif  // SAGA_STORAGE_SSTABLE_H_

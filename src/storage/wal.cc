@@ -1,0 +1,89 @@
+#include "storage/wal.h"
+
+#include <array>
+
+#include "common/file_util.h"
+#include "common/serialization.h"
+
+namespace saga::storage {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+WalWriter::WalWriter(std::string path) : path_(std::move(path)) {}
+
+Status WalWriter::Open() {
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) return Status::IOError("cannot open WAL: " + path_);
+  return Status::OK();
+}
+
+Status WalWriter::Append(std::string_view record) {
+  if (!out_.is_open()) return Status::FailedPrecondition("WAL not open");
+  std::string header;
+  BinaryWriter w(&header);
+  w.PutFixed32(Crc32(record));
+  w.PutFixed32(static_cast<uint32_t>(record.size()));
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  if (!out_) return Status::IOError("WAL append failed: " + path_);
+  bytes_written_ += header.size() + record.size();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (!out_.is_open()) return Status::FailedPrecondition("WAL not open");
+  out_.flush();
+  if (!out_) return Status::IOError("WAL sync failed: " + path_);
+  return Status::OK();
+}
+
+Status WalWriter::Reset() {
+  if (out_.is_open()) out_.close();
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) return Status::IOError("cannot truncate WAL: " + path_);
+  bytes_written_ = 0;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ReadWalRecords(const std::string& path) {
+  std::vector<std::string> records;
+  if (!FileExists(path)) return records;
+  SAGA_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  BinaryReader r(data);
+  while (!r.AtEnd()) {
+    uint32_t crc = 0;
+    uint32_t len = 0;
+    if (!r.GetFixed32(&crc).ok() || !r.GetFixed32(&len).ok()) break;
+    if (r.remaining() < len) break;  // torn tail record
+    std::string_view payload(data.data() + r.position(), len);
+    if (Crc32(payload) != crc) break;  // corrupt tail record
+    records.emplace_back(payload);
+    SAGA_RETURN_IF_ERROR(r.Skip(len));
+  }
+  return records;
+}
+
+}  // namespace saga::storage

@@ -1,0 +1,54 @@
+#ifndef SAGA_STORAGE_WAL_H_
+#define SAGA_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace saga::storage {
+
+/// CRC32 (IEEE, reflected) used by WAL and SSTable footers.
+uint32_t Crc32(std::string_view data);
+
+/// Append-only write-ahead log. Each record: fixed32 crc | fixed32 len |
+/// payload. Replay stops cleanly at the first torn or corrupt record so
+/// a crash mid-append loses at most the tail.
+class WalWriter {
+ public:
+  explicit WalWriter(std::string path);
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (creating or appending). Must be called before Append.
+  Status Open();
+
+  Status Append(std::string_view record);
+
+  /// Flushes buffered writes to the OS.
+  Status Sync();
+
+  /// Closes and truncates the log to empty (called after a successful
+  /// memtable flush).
+  Status Reset();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Reads all intact records from a WAL file. Missing file yields an
+/// empty list (fresh database).
+Result<std::vector<std::string>> ReadWalRecords(const std::string& path);
+
+}  // namespace saga::storage
+
+#endif  // SAGA_STORAGE_WAL_H_

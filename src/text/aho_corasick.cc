@@ -1,0 +1,76 @@
+#include "text/aho_corasick.h"
+
+#include <cassert>
+#include <queue>
+
+namespace saga::text {
+
+uint32_t AhoCorasick::AddPattern(std::string_view pattern) {
+  assert(!built_);
+  int32_t node = 0;
+  for (unsigned char c : pattern) {
+    auto it = nodes_[node].next.find(c);
+    if (it == nodes_[node].next.end()) {
+      nodes_.emplace_back();
+      const int32_t child = static_cast<int32_t>(nodes_.size() - 1);
+      nodes_[node].next.emplace(c, child);
+      node = child;
+    } else {
+      node = it->second;
+    }
+  }
+  const uint32_t idx = static_cast<uint32_t>(patterns_.size());
+  nodes_[node].outputs.push_back(idx);
+  patterns_.emplace_back(pattern);
+  return idx;
+}
+
+void AhoCorasick::Build() {
+  assert(!built_);
+  std::queue<int32_t> q;
+  for (auto& [c, child] : nodes_[0].next) {
+    nodes_[child].fail = 0;
+    q.push(child);
+  }
+  while (!q.empty()) {
+    const int32_t node = q.front();
+    q.pop();
+    for (auto& [c, child] : nodes_[node].next) {
+      int32_t f = nodes_[node].fail;
+      while (f != 0 && !nodes_[f].next.count(c)) f = nodes_[f].fail;
+      auto it = nodes_[f].next.find(c);
+      nodes_[child].fail =
+          (it != nodes_[f].next.end() && it->second != child) ? it->second : 0;
+      const auto& fail_outputs = nodes_[nodes_[child].fail].outputs;
+      nodes_[child].outputs.insert(nodes_[child].outputs.end(),
+                                   fail_outputs.begin(), fail_outputs.end());
+      q.push(child);
+    }
+  }
+  built_ = true;
+}
+
+std::vector<AhoCorasick::Match> AhoCorasick::FindAll(
+    std::string_view text) const {
+  assert(built_);
+  std::vector<Match> matches;
+  int32_t node = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const uint8_t c = static_cast<uint8_t>(text[i]);
+    while (node != 0 && !nodes_[node].next.count(c)) {
+      node = nodes_[node].fail;
+    }
+    auto it = nodes_[node].next.find(c);
+    node = it == nodes_[node].next.end() ? 0 : it->second;
+    for (uint32_t pat : nodes_[node].outputs) {
+      Match m;
+      m.end = i + 1;
+      m.begin = m.end - patterns_[pat].size();
+      m.pattern = pat;
+      matches.push_back(m);
+    }
+  }
+  return matches;
+}
+
+}  // namespace saga::text

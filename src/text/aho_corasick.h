@@ -1,0 +1,52 @@
+#ifndef SAGA_TEXT_AHO_CORASICK_H_
+#define SAGA_TEXT_AHO_CORASICK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace saga::text {
+
+/// Multi-pattern string matcher (Aho-Corasick over bytes). The mention
+/// detector compiles the KG alias gazetteer (hundreds of thousands of
+/// surface forms) into one automaton and scans each document once.
+class AhoCorasick {
+ public:
+  struct Match {
+    size_t begin = 0;       // byte offset in the haystack
+    size_t end = 0;         // one past the last byte
+    uint32_t pattern = 0;   // index of the matched pattern
+  };
+
+  AhoCorasick() = default;
+
+  /// Adds a pattern before Build(); returns its index. Patterns should
+  /// be normalized (lowercased) by the caller; matching is exact bytes.
+  uint32_t AddPattern(std::string_view pattern);
+
+  /// Finalizes failure links. Must be called once, after all patterns.
+  void Build();
+
+  /// All (possibly overlapping) pattern occurrences in `text`.
+  std::vector<Match> FindAll(std::string_view text) const;
+
+  size_t num_patterns() const { return patterns_.size(); }
+  const std::string& pattern(uint32_t idx) const { return patterns_[idx]; }
+
+ private:
+  struct Node {
+    std::unordered_map<uint8_t, int32_t> next;
+    int32_t fail = 0;
+    std::vector<uint32_t> outputs;
+  };
+
+  std::vector<Node> nodes_{1};
+  std::vector<std::string> patterns_;
+  bool built_ = false;
+};
+
+}  // namespace saga::text
+
+#endif  // SAGA_TEXT_AHO_CORASICK_H_

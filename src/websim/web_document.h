@@ -1,0 +1,48 @@
+#ifndef SAGA_WEBSIM_WEB_DOCUMENT_H_
+#define SAGA_WEBSIM_WEB_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/ids.h"
+
+namespace saga::websim {
+
+/// Dense document id inside a WebCorpus.
+using DocId = uint32_t;
+
+/// Ground-truth entity mention rendered into a document. The annotation
+/// bench scores predictions against these.
+struct GoldMention {
+  size_t begin = 0;
+  size_t end = 0;
+  kg::EntityId entity;
+};
+
+/// A synthetic web page. Carries both unstructured text and an
+/// infobox-style semi-structured block (schema.org-like key/values),
+/// mirroring the "variety" challenge of §3.1/§4.
+struct WebDocument {
+  DocId id = 0;
+  std::string url;
+  std::string domain;
+  std::string title;
+  std::string body;
+  /// Source quality in [0, 1]; the ODKE corroborator uses it as an
+  /// evidence feature.
+  double quality = 0.5;
+  /// Publication / last-update logical time; newer documents carry
+  /// fresher facts.
+  int64_t timestamp = 0;
+  /// Semi-structured key/value facts (e.g. {"born", "1979-07-23"}).
+  std::vector<std::pair<std::string, std::string>> infobox;
+  /// Ground truth annotations (not visible to the annotation service).
+  std::vector<GoldMention> gold_mentions;
+  /// Incremented every time the page content changes.
+  uint32_t version = 0;
+};
+
+}  // namespace saga::websim
+
+#endif  // SAGA_WEBSIM_WEB_DOCUMENT_H_

@@ -1,0 +1,464 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/file_util.h"
+#include "embedding/embedding_store.h"
+#include "embedding/embedding_table.h"
+#include "embedding/evaluator.h"
+#include "embedding/model.h"
+#include "embedding/negative_sampler.h"
+#include "embedding/trainer.h"
+#include "kg/kg_generator.h"
+
+namespace saga::embedding {
+namespace {
+
+kg::GeneratedKg MakeKg() {
+  kg::KgGeneratorConfig config;
+  config.num_persons = 120;
+  config.num_movies = 40;
+  config.num_songs = 20;
+  config.num_teams = 6;
+  config.num_bands = 8;
+  config.num_cities = 12;
+  return kg::GenerateKg(config);
+}
+
+// ---------- Models ----------
+
+TEST(ModelTest, KindNamesRoundTrip) {
+  for (ModelKind kind :
+       {ModelKind::kTransE, ModelKind::kDistMult, ModelKind::kComplEx}) {
+    auto parsed = ParseModelKind(ModelKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseModelKind("gpt").ok());
+}
+
+TEST(ModelTest, TransEPerfectTranslationScoresHighest) {
+  auto model = MakeModel(ModelKind::kTransE);
+  const std::vector<float> h = {0.1f, 0.2f, 0.3f, 0.0f};
+  const std::vector<float> r = {0.05f, -0.1f, 0.2f, 0.1f};
+  std::vector<float> t(4);
+  for (int i = 0; i < 4; ++i) t[i] = h[i] + r[i];
+  const double perfect = model->Score(h.data(), r.data(), t.data(), 4);
+  EXPECT_NEAR(perfect, 0.0, 1e-3);
+  std::vector<float> wrong = t;
+  wrong[0] += 1.0f;
+  EXPECT_LT(model->Score(h.data(), r.data(), wrong.data(), 4), perfect);
+}
+
+TEST(ModelTest, DistMultIsSymmetricInHeadTail) {
+  auto model = MakeModel(ModelKind::kDistMult);
+  const std::vector<float> h = {0.3f, -0.2f, 0.5f, 0.1f};
+  const std::vector<float> r = {0.2f, 0.4f, -0.3f, 0.6f};
+  const std::vector<float> t = {-0.1f, 0.7f, 0.2f, 0.3f};
+  EXPECT_NEAR(model->Score(h.data(), r.data(), t.data(), 4),
+              model->Score(t.data(), r.data(), h.data(), 4), 1e-9);
+}
+
+TEST(ModelTest, ComplExIsAsymmetric) {
+  auto model = MakeModel(ModelKind::kComplEx);
+  const std::vector<float> h = {0.3f, -0.2f, 0.5f, 0.1f};
+  const std::vector<float> r = {0.2f, 0.4f, -0.3f, 0.6f};
+  const std::vector<float> t = {-0.1f, 0.7f, 0.2f, 0.3f};
+  const double forward = model->Score(h.data(), r.data(), t.data(), 4);
+  const double backward = model->Score(t.data(), r.data(), h.data(), 4);
+  EXPECT_GT(std::abs(forward - backward), 1e-6);
+}
+
+/// Property test: analytic gradients match finite differences for all
+/// three models and every argument position.
+class GradientCheck : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(GradientCheck, MatchesFiniteDifferences) {
+  const int dim = 8;
+  auto model = MakeModel(GetParam());
+  Rng rng(42);
+  std::vector<float> h(dim);
+  std::vector<float> r(dim);
+  std::vector<float> t(dim);
+  for (int i = 0; i < dim; ++i) {
+    h[i] = static_cast<float>(rng.UniformDouble(-0.5, 0.5));
+    r[i] = static_cast<float>(rng.UniformDouble(-0.5, 0.5));
+    t[i] = static_cast<float>(rng.UniformDouble(-0.5, 0.5));
+  }
+  std::vector<float> gh(dim, 0.0f);
+  std::vector<float> gr(dim, 0.0f);
+  std::vector<float> gt(dim, 0.0f);
+  model->AccumulateGrad(h.data(), r.data(), t.data(), dim, 1.0, gh.data(),
+                        gr.data(), gt.data());
+
+  const double eps = 1e-3;
+  auto check = [&](std::vector<float>* vec, const std::vector<float>& grad) {
+    for (int i = 0; i < dim; ++i) {
+      const float orig = (*vec)[i];
+      (*vec)[i] = orig + static_cast<float>(eps);
+      const double plus = model->Score(h.data(), r.data(), t.data(), dim);
+      (*vec)[i] = orig - static_cast<float>(eps);
+      const double minus = model->Score(h.data(), r.data(), t.data(), dim);
+      (*vec)[i] = orig;
+      const double numeric = (plus - minus) / (2 * eps);
+      EXPECT_NEAR(grad[i], numeric, 5e-2)
+          << ModelKindName(GetParam()) << " dim " << i;
+    }
+  };
+  check(&h, gh);
+  check(&r, gr);
+  check(&t, gt);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, GradientCheck,
+                         ::testing::Values(ModelKind::kTransE,
+                                           ModelKind::kDistMult,
+                                           ModelKind::kComplEx));
+
+// ---------- EmbeddingTable ----------
+
+TEST(EmbeddingTableTest, InitAndGradient) {
+  EmbeddingTable table(10, 4);
+  Rng rng(1);
+  table.RandomInit(&rng, 0.5);
+  bool any_nonzero = false;
+  for (size_t r = 0; r < 10; ++r) {
+    for (int d = 0; d < 4; ++d) {
+      EXPECT_LE(std::abs(table.Row(r)[d]), 0.5f);
+      if (table.Row(r)[d] != 0.0f) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+
+  const std::vector<float> before = table.RowVec(3);
+  const std::vector<float> grad = {1.0f, -1.0f, 0.0f, 2.0f};
+  table.ApplyGradient(3, grad.data(), 0.1);
+  const std::vector<float> after = table.RowVec(3);
+  EXPECT_LT(after[0], before[0]);  // positive gradient decreases value
+  EXPECT_GT(after[1], before[1]);
+  EXPECT_EQ(after[2], before[2]);
+  EXPECT_LT(after[3], before[3]);
+}
+
+TEST(EmbeddingTableTest, AdagradShrinksEffectiveStep) {
+  EmbeddingTable table(1, 1);
+  const float g = 1.0f;
+  table.ApplyGradient(0, &g, 0.1);
+  const float step1 = -table.Row(0)[0];
+  const float before2 = table.Row(0)[0];
+  table.ApplyGradient(0, &g, 0.1);
+  const float step2 = before2 - table.Row(0)[0];
+  EXPECT_GT(step1, step2);
+}
+
+TEST(EmbeddingTableTest, NormalizeRowCapsNorm) {
+  EmbeddingTable table(1, 3);
+  float* row = table.Row(0);
+  row[0] = 3.0f;
+  row[1] = 4.0f;
+  row[2] = 0.0f;
+  table.NormalizeRow(0);
+  EXPECT_NEAR(std::sqrt(row[0] * row[0] + row[1] * row[1]), 1.0, 1e-5);
+  // Short vectors are left alone.
+  row[0] = 0.1f;
+  row[1] = 0.1f;
+  table.NormalizeRow(0);
+  EXPECT_NEAR(row[0], 0.1f, 1e-6);
+}
+
+TEST(EmbeddingTableTest, SaveLoadRoundTrip) {
+  auto dir = MakeTempDir("saga_emb_table");
+  ASSERT_TRUE(dir.ok());
+  EmbeddingTable table(5, 8);
+  Rng rng(2);
+  table.RandomInit(&rng, 0.3);
+  const std::string path = JoinPath(*dir, "table.bin");
+  ASSERT_TRUE(table.Save(path).ok());
+  auto loaded = EmbeddingTable::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), 5u);
+  EXPECT_EQ(loaded->dim(), 8);
+  for (size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(loaded->RowVec(r), table.RowVec(r));
+  }
+  (void)RemoveDirRecursively(*dir);
+}
+
+TEST(EmbeddingTableTest, PartitionRowsRoundTripIncludesOptimizerState) {
+  auto dir = MakeTempDir("saga_emb_rows");
+  ASSERT_TRUE(dir.ok());
+  EmbeddingTable table(10, 4);
+  Rng rng(3);
+  table.RandomInit(&rng, 0.3);
+  const std::vector<float> grad = {1.0f, 1.0f, 1.0f, 1.0f};
+  table.ApplyGradient(2, grad.data(), 0.1);
+  const std::string path = JoinPath(*dir, "rows.bin");
+  ASSERT_TRUE(table.SaveRows(path, 0, 10).ok());
+
+  EmbeddingTable restored(10, 4);
+  ASSERT_TRUE(restored.LoadRows(path, 0, 10).ok());
+  EXPECT_EQ(restored.RowVec(2), table.RowVec(2));
+  // Adagrad state restored: identical next-step behaviour.
+  table.ApplyGradient(2, grad.data(), 0.1);
+  restored.ApplyGradient(2, grad.data(), 0.1);
+  EXPECT_EQ(restored.RowVec(2), table.RowVec(2));
+  EXPECT_TRUE(restored.LoadRows(path, 0, 11).IsInvalidArgument());
+  (void)RemoveDirRecursively(*dir);
+}
+
+// ---------- NegativeSampler ----------
+
+TEST(NegativeSamplerTest, CorruptsRequestedSlot) {
+  kg::GeneratedKg gen = MakeKg();
+  auto view = graph_engine::GraphView::Build(gen.kg,
+                                             graph_engine::ViewDefinition());
+  NegativeSampler sampler(view, /*filtered=*/false);
+  Rng rng(7);
+  const graph_engine::ViewEdge pos = view.edges()[0];
+  for (int i = 0; i < 20; ++i) {
+    const auto tail_neg = sampler.Corrupt(pos, true, &rng);
+    EXPECT_EQ(tail_neg.src, pos.src);
+    EXPECT_EQ(tail_neg.relation, pos.relation);
+    const auto head_neg = sampler.Corrupt(pos, false, &rng);
+    EXPECT_EQ(head_neg.dst, pos.dst);
+  }
+}
+
+TEST(NegativeSamplerTest, FilteredRejectsTrueEdges) {
+  kg::GeneratedKg gen = MakeKg();
+  auto view = graph_engine::GraphView::Build(gen.kg,
+                                             graph_engine::ViewDefinition());
+  NegativeSampler sampler(view, /*filtered=*/true);
+  Rng rng(7);
+  int true_hits = 0;
+  for (const auto& pos : view.edges()) {
+    const auto neg = sampler.Corrupt(pos, true, &rng);
+    if (sampler.IsTrueEdge(neg.src, neg.relation, neg.dst)) ++true_hits;
+  }
+  // Rejection sampling makes true-edge negatives very rare.
+  EXPECT_LT(true_hits, static_cast<int>(view.edges().size() / 50 + 2));
+}
+
+TEST(NegativeSamplerTest, PoolCorruptionStaysInPool) {
+  kg::GeneratedKg gen = MakeKg();
+  auto view = graph_engine::GraphView::Build(gen.kg,
+                                             graph_engine::ViewDefinition());
+  NegativeSampler sampler(view, false);
+  Rng rng(9);
+  const std::vector<uint32_t> pool = {1, 2, 3};
+  const graph_engine::ViewEdge pos = view.edges()[0];
+  for (int i = 0; i < 20; ++i) {
+    const auto neg = sampler.CorruptFromPool(pos, true, pool, &rng);
+    EXPECT_TRUE(neg.dst == 1 || neg.dst == 2 || neg.dst == 3);
+  }
+}
+
+// ---------- Training ----------
+
+TEST(TrainerTest, LossDecreasesOverEpochs) {
+  kg::GeneratedKg gen = MakeKg();
+  auto view = graph_engine::GraphView::Build(gen.kg,
+                                             graph_engine::ViewDefinition());
+  TrainingConfig config;
+  config.model = ModelKind::kDistMult;
+  config.dim = 16;
+  config.epochs = 5;
+  InMemoryTrainer trainer(config);
+  const TrainedEmbeddings emb = trainer.Train(view);
+  ASSERT_EQ(emb.epoch_losses.size(), 5u);
+  EXPECT_LT(emb.epoch_losses.back(), emb.epoch_losses.front());
+}
+
+TEST(TrainerTest, TrainedModelSeparatesTrueFromCorrupted) {
+  kg::GeneratedKg gen = MakeKg();
+  auto view = graph_engine::GraphView::Build(gen.kg,
+                                             graph_engine::ViewDefinition());
+  TrainingConfig config;
+  config.model = ModelKind::kDistMult;
+  config.dim = 24;
+  config.epochs = 8;
+  config.holdout_fraction = 0.1;
+  InMemoryTrainer trainer(config);
+  const TrainedEmbeddings emb = trainer.Train(view);
+  ASSERT_FALSE(emb.holdout_edges.empty());
+  Rng rng(5);
+  const double auc =
+      EvaluateVerificationAuc(emb, view, emb.holdout_edges, &rng);
+  EXPECT_GT(auc, 0.75) << "held-out AUC too low";
+}
+
+TEST(TrainerTest, HoldoutIsDisjointFromTraining) {
+  kg::GeneratedKg gen = MakeKg();
+  auto view = graph_engine::GraphView::Build(gen.kg,
+                                             graph_engine::ViewDefinition());
+  TrainingConfig config;
+  config.epochs = 1;
+  config.holdout_fraction = 0.2;
+  InMemoryTrainer trainer(config);
+  const TrainedEmbeddings emb = trainer.Train(view);
+  EXPECT_EQ(emb.train_edges.size() + emb.holdout_edges.size(),
+            view.edges().size());
+  EXPECT_NEAR(static_cast<double>(emb.holdout_edges.size()),
+              0.2 * static_cast<double>(view.edges().size()), 2.0);
+}
+
+TEST(TrainerTest, RetrainWarmStartsFromPreviousEmbeddings) {
+  kg::GeneratedKg gen = MakeKg();
+  auto view = graph_engine::GraphView::Build(gen.kg,
+                                             graph_engine::ViewDefinition());
+  TrainingConfig config;
+  config.dim = 16;
+  config.epochs = 4;
+  InMemoryTrainer trainer(config);
+  const TrainedEmbeddings first = trainer.Train(view);
+
+  // The KG grows; the view is maintained incrementally.
+  const kg::SourceId src = gen.kg.AddSource("delta", 1.0);
+  const kg::EntityId fresh =
+      gen.kg.catalog().AddEntity("Fresh Face", {gen.schema.person});
+  std::vector<kg::TripleIdx> delta;
+  delta.push_back(gen.kg.AddFact(fresh, gen.schema.spouse,
+                                 kg::Value::Entity(view.global_entity(0)),
+                                 src));
+  view.ApplyDelta(gen.kg, delta);
+
+  // Zero-epoch retrain: old rows must be preserved verbatim, the new
+  // entity gets a (random, nonzero) row.
+  TrainingConfig frozen = config;
+  frozen.epochs = 0;
+  const TrainedEmbeddings warm =
+      InMemoryTrainer(frozen).Retrain(view, first);
+  ASSERT_EQ(warm.entities.rows(), first.entities.rows() + 1);
+  for (size_t r = 0; r < first.entities.rows(); ++r) {
+    EXPECT_EQ(warm.entities.RowVec(r), first.entities.RowVec(r));
+  }
+  bool new_row_nonzero = false;
+  for (int d = 0; d < 16; ++d) {
+    if (warm.entities.Row(first.entities.rows())[d] != 0.0f) {
+      new_row_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(new_row_nonzero);
+
+  // One warm epoch starts from a much lower loss than one cold epoch.
+  TrainingConfig one_epoch = config;
+  one_epoch.epochs = 1;
+  const TrainedEmbeddings warm_trained =
+      InMemoryTrainer(one_epoch).Retrain(view, first);
+  const TrainedEmbeddings cold_trained =
+      InMemoryTrainer(one_epoch).Train(view);
+  ASSERT_EQ(warm_trained.epoch_losses.size(), 1u);
+  EXPECT_LT(warm_trained.epoch_losses[0],
+            0.6 * cold_trained.epoch_losses[0]);
+}
+
+class ModelQualityTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ModelQualityTest, BeatsRandomRanking) {
+  kg::GeneratedKg gen = MakeKg();
+  auto view = graph_engine::GraphView::Build(gen.kg,
+                                             graph_engine::ViewDefinition());
+  TrainingConfig config;
+  config.model = GetParam();
+  config.dim = 24;
+  config.epochs = 6;
+  config.holdout_fraction = 0.1;
+  InMemoryTrainer trainer(config);
+  const TrainedEmbeddings emb = trainer.Train(view);
+  Rng rng(11);
+  // Sampled 200-candidate ranking: random MRR would be ~ 0.03.
+  std::vector<graph_engine::ViewEdge> test(
+      emb.holdout_edges.begin(),
+      emb.holdout_edges.begin() +
+          std::min<size_t>(80, emb.holdout_edges.size()));
+  const RankingMetrics m = EvaluateRanking(emb, view, test, 200, &rng);
+  EXPECT_GT(m.mrr, 0.1) << ModelKindName(GetParam());
+  EXPECT_GT(m.hits_at_10, 0.25) << ModelKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelQualityTest,
+                         ::testing::Values(ModelKind::kTransE,
+                                           ModelKind::kDistMult,
+                                           ModelKind::kComplEx));
+
+// ---------- Evaluator ----------
+
+TEST(EvaluatorTest, AucOnSeparableData) {
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 100; ++i) {
+    scored.emplace_back(1.0 + i, true);
+    scored.emplace_back(-1.0 - i, false);
+  }
+  EXPECT_DOUBLE_EQ(Auc(scored), 1.0);
+}
+
+TEST(EvaluatorTest, AucOnRandomDataIsHalf) {
+  Rng rng(3);
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 4000; ++i) {
+    scored.emplace_back(rng.NextDouble(), rng.Bernoulli(0.5));
+  }
+  EXPECT_NEAR(Auc(scored), 0.5, 0.05);
+}
+
+TEST(EvaluatorTest, AucHandlesTies) {
+  std::vector<std::pair<double, bool>> scored = {
+      {1.0, true}, {1.0, false}, {1.0, true}, {1.0, false}};
+  EXPECT_DOUBLE_EQ(Auc(scored), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({{1.0, true}}), 0.5);  // degenerate
+}
+
+TEST(EvaluatorTest, EmptyTestSetYieldsZeroMetrics) {
+  kg::GeneratedKg gen = MakeKg();
+  auto view = graph_engine::GraphView::Build(gen.kg,
+                                             graph_engine::ViewDefinition());
+  TrainingConfig config;
+  config.epochs = 1;
+  InMemoryTrainer trainer(config);
+  const TrainedEmbeddings emb = trainer.Train(view);
+  Rng rng(1);
+  const RankingMetrics m = EvaluateRanking(emb, view, {}, 100, &rng);
+  EXPECT_EQ(m.num_queries, 0u);
+  EXPECT_EQ(m.mrr, 0.0);
+}
+
+// ---------- EmbeddingStore ----------
+
+TEST(EmbeddingStoreTest, FromTrainedAndLookup) {
+  kg::GeneratedKg gen = MakeKg();
+  auto view = graph_engine::GraphView::Build(gen.kg,
+                                             graph_engine::ViewDefinition());
+  TrainingConfig config;
+  config.epochs = 1;
+  config.dim = 8;
+  InMemoryTrainer trainer(config);
+  const TrainedEmbeddings emb = trainer.Train(view);
+  const EmbeddingStore store = EmbeddingStore::FromTrained(emb, view);
+  EXPECT_EQ(store.size(), view.num_entities());
+  EXPECT_EQ(store.dim(), 8);
+  const kg::EntityId some = view.global_entity(0);
+  ASSERT_NE(store.Get(some), nullptr);
+  EXPECT_EQ(*store.Get(some), emb.entities.RowVec(0));
+  EXPECT_EQ(store.Get(kg::EntityId(999999)), nullptr);
+}
+
+TEST(EmbeddingStoreTest, SaveLoadRoundTrip) {
+  auto dir = MakeTempDir("saga_emb_store");
+  ASSERT_TRUE(dir.ok());
+  EmbeddingStore store;
+  store.Put(kg::EntityId(3), {1.0f, 2.0f});
+  store.Put(kg::EntityId(9), {-1.0f, 0.5f});
+  const std::string path = JoinPath(*dir, "store.bin");
+  ASSERT_TRUE(store.Save(path).ok());
+  auto loaded = EmbeddingStore::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(*loaded->Get(kg::EntityId(3)),
+            (std::vector<float>{1.0f, 2.0f}));
+  EXPECT_EQ(loaded->Ids(),
+            (std::vector<kg::EntityId>{kg::EntityId(3), kg::EntityId(9)}));
+  (void)RemoveDirRecursively(*dir);
+}
+
+}  // namespace
+}  // namespace saga::embedding

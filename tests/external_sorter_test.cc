@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/file_util.h"
+#include "common/rng.h"
+#include "storage/external_sorter.h"
+
+namespace saga::storage {
+namespace {
+
+class ExternalSorterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("saga_sorter_test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+  std::string dir_;
+};
+
+TEST_F(ExternalSorterTest, EmptyInput) {
+  ExternalSorter::Options opts;
+  opts.spill_dir = dir_;
+  ExternalSorter sorter(opts);
+  auto it = sorter.Sort();
+  ASSERT_TRUE(it.ok());
+  EXPECT_FALSE((*it)->Valid());
+}
+
+TEST_F(ExternalSorterTest, InMemoryWhenUnderBudget) {
+  ExternalSorter::Options opts;
+  opts.memory_budget_bytes = 1 << 20;
+  opts.spill_dir = dir_;
+  ExternalSorter sorter(opts);
+  ASSERT_TRUE(sorter.Add("c", "3").ok());
+  ASSERT_TRUE(sorter.Add("a", "1").ok());
+  ASSERT_TRUE(sorter.Add("b", "2").ok());
+  EXPECT_EQ(sorter.runs_spilled(), 0u);
+  auto it = sorter.Sort();
+  ASSERT_TRUE(it.ok());
+  std::vector<std::string> keys;
+  while ((*it)->Valid()) {
+    keys.push_back((*it)->Current().key);
+    ASSERT_TRUE((*it)->Next().ok());
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(ExternalSorterTest, SortAfterSortFails) {
+  ExternalSorter::Options opts;
+  opts.spill_dir = dir_;
+  ExternalSorter sorter(opts);
+  ASSERT_TRUE(sorter.Add("a", "1").ok());
+  ASSERT_TRUE(sorter.Sort().ok());
+  EXPECT_FALSE(sorter.Sort().ok());
+  EXPECT_FALSE(sorter.Add("b", "2").ok());
+}
+
+TEST_F(ExternalSorterTest, DuplicateKeysAllSurvive) {
+  ExternalSorter::Options opts;
+  opts.memory_budget_bytes = 256;  // force spills
+  opts.spill_dir = dir_;
+  ExternalSorter sorter(opts);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(sorter.Add("same", "v" + std::to_string(i)).ok());
+  }
+  auto it = sorter.Sort();
+  ASSERT_TRUE(it.ok());
+  int count = 0;
+  while ((*it)->Valid()) {
+    EXPECT_EQ((*it)->Current().key, "same");
+    ++count;
+    ASSERT_TRUE((*it)->Next().ok());
+  }
+  EXPECT_EQ(count, 50);
+}
+
+/// Property: for any memory budget, output is (a) sorted, (b) a
+/// permutation of the input.
+class SorterBudgetTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SorterBudgetTest, SortedPermutationUnderAnyBudget) {
+  auto dir = MakeTempDir("saga_sorter_prop");
+  ASSERT_TRUE(dir.ok());
+  ExternalSorter::Options opts;
+  opts.memory_budget_bytes = GetParam();
+  opts.spill_dir = *dir;
+  ExternalSorter sorter(opts);
+
+  Rng rng(GetParam() + 1);
+  std::vector<std::pair<std::string, std::string>> input;
+  for (int i = 0; i < 2000; ++i) {
+    input.emplace_back("key" + std::to_string(rng.Uniform(500)),
+                       "val" + std::to_string(i));
+  }
+  for (const auto& [k, v] : input) {
+    ASSERT_TRUE(sorter.Add(k, v).ok());
+  }
+  // Small budgets must actually spill.
+  if (GetParam() < 10000) {
+    EXPECT_GT(sorter.runs_spilled(), 0u);
+    EXPECT_GT(sorter.bytes_spilled(), 0u);
+  }
+  EXPECT_LE(sorter.peak_buffer_bytes(),
+            GetParam() + 600);  // one record of slack
+
+  auto it = sorter.Sort();
+  ASSERT_TRUE(it.ok());
+  std::vector<std::pair<std::string, std::string>> output;
+  while ((*it)->Valid()) {
+    output.emplace_back((*it)->Current().key, (*it)->Current().value);
+    ASSERT_TRUE((*it)->Next().ok());
+  }
+  ASSERT_EQ(output.size(), input.size());
+  for (size_t i = 1; i < output.size(); ++i) {
+    EXPECT_LE(output[i - 1].first, output[i].first);
+  }
+  auto sorted_input = input;
+  std::sort(sorted_input.begin(), sorted_input.end());
+  auto sorted_output = output;
+  std::sort(sorted_output.begin(), sorted_output.end());
+  EXPECT_EQ(sorted_input, sorted_output);
+  (void)RemoveDirRecursively(*dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SorterBudgetTest,
+                         ::testing::Values(300, 1024, 8192, 1 << 22));
+
+}  // namespace
+}  // namespace saga::storage

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/file_util.h"
+#include "common/rng.h"
+#include "storage/kv_store.h"
+
+namespace saga::storage {
+namespace {
+
+class KvStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("saga_kv_test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  KvStore::Options SmallMemtable() {
+    KvStore::Options opts;
+    opts.memtable_max_bytes = 2048;
+    return opts;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(KvStoreTest, PutGetDelete) {
+  auto store = KvStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("a", "1").ok());
+  auto got = (*store)->Get("a");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "1");
+
+  ASSERT_TRUE((*store)->Put("a", "2").ok());
+  EXPECT_EQ((*store)->Get("a").value(), "2");
+
+  ASSERT_TRUE((*store)->Delete("a").ok());
+  EXPECT_TRUE((*store)->Get("a").status().IsNotFound());
+  EXPECT_TRUE((*store)->Get("never").status().IsNotFound());
+}
+
+TEST_F(KvStoreTest, EmptyKeyRejected) {
+  auto store = KvStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->Put("", "v").IsInvalidArgument());
+  EXPECT_TRUE((*store)->Delete("").IsInvalidArgument());
+}
+
+TEST_F(KvStoreTest, FlushCreatesSstAndKeepsData) {
+  auto store = KvStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*store)->Put("k" + std::to_string(i),
+                              "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ((*store)->num_sstables(), 1u);
+  EXPECT_EQ((*store)->memtable_bytes(), 0u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ((*store)->Get("k" + std::to_string(i)).value(),
+              "v" + std::to_string(i));
+  }
+}
+
+TEST_F(KvStoreTest, NewestVersionWinsAcrossLevels) {
+  auto store = KvStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", "old").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Put("k", "mid").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Put("k", "new").ok());
+  EXPECT_EQ((*store)->Get("k").value(), "new");
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ((*store)->Get("k").value(), "new");
+}
+
+TEST_F(KvStoreTest, TombstoneShadowsOlderSstEntry) {
+  auto store = KvStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", "v").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Delete("k").ok());
+  EXPECT_TRUE((*store)->Get("k").status().IsNotFound());
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_TRUE((*store)->Get("k").status().IsNotFound());
+}
+
+TEST_F(KvStoreTest, AutomaticFlushWhenMemtableFull) {
+  auto store = KvStore::Open(dir_, SmallMemtable());
+  ASSERT_TRUE(store.ok());
+  const std::string big_value(200, 'x');
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*store)->Put("key" + std::to_string(i), big_value).ok());
+  }
+  EXPECT_GT((*store)->num_sstables(), 1u);
+  EXPECT_GT((*store)->stats().flushes, 1u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE((*store)->Get("key" + std::to_string(i)).ok());
+  }
+}
+
+TEST_F(KvStoreTest, ScanPrefixMergesLevels) {
+  auto store = KvStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("user:1", "a").ok());
+  ASSERT_TRUE((*store)->Put("user:2", "b").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Put("user:2", "b2").ok());  // shadow in memtable
+  ASSERT_TRUE((*store)->Put("user:3", "c").ok());
+  ASSERT_TRUE((*store)->Delete("user:1").ok());
+  ASSERT_TRUE((*store)->Put("other:9", "zz").ok());
+
+  auto scan = (*store)->ScanPrefix("user:");
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->size(), 2u);
+  EXPECT_EQ((*scan)[0].first, "user:2");
+  EXPECT_EQ((*scan)[0].second, "b2");
+  EXPECT_EQ((*scan)[1].first, "user:3");
+}
+
+TEST_F(KvStoreTest, CompactionMergesAndDropsTombstones) {
+  KvStore::Options opts;
+  opts.memtable_max_bytes = 1 << 20;
+  auto store = KvStore::Open(dir_, opts);
+  ASSERT_TRUE(store.ok());
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE((*store)
+                      ->Put("k" + std::to_string(i),
+                            "round" + std::to_string(round))
+                      .ok());
+    }
+    ASSERT_TRUE((*store)->Delete("k0").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  EXPECT_EQ((*store)->num_sstables(), 4u);
+  ASSERT_TRUE((*store)->CompactAll().ok());
+  EXPECT_EQ((*store)->num_sstables(), 1u);
+  EXPECT_TRUE((*store)->Get("k0").status().IsNotFound());
+  for (int i = 1; i < 30; ++i) {
+    EXPECT_EQ((*store)->Get("k" + std::to_string(i)).value(), "round3");
+  }
+}
+
+TEST_F(KvStoreTest, RecoveryFromWalAfterCrash) {
+  {
+    auto store = KvStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("persisted", "by-flush").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    ASSERT_TRUE((*store)->Put("wal-only", "survives").ok());
+    ASSERT_TRUE((*store)->Delete("persisted").ok());
+    // Destructor without Flush simulates a crash (WAL has the tail).
+  }
+  auto reopened = KvStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Get("wal-only").value(), "survives");
+  EXPECT_TRUE((*reopened)->Get("persisted").status().IsNotFound());
+}
+
+TEST_F(KvStoreTest, RecoveryLoadsAllSstables) {
+  {
+    auto store = KvStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("a", "1").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    ASSERT_TRUE((*store)->Put("b", "2").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto reopened = KvStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->num_sstables(), 2u);
+  EXPECT_EQ((*reopened)->Get("a").value(), "1");
+  EXPECT_EQ((*reopened)->Get("b").value(), "2");
+}
+
+TEST_F(KvStoreTest, NoWalModeStillServes) {
+  KvStore::Options opts;
+  opts.use_wal = false;
+  auto store = KvStore::Open(dir_, opts);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", "v").ok());
+  EXPECT_EQ((*store)->Get("k").value(), "v");
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ((*store)->Get("k").value(), "v");
+}
+
+TEST_F(KvStoreTest, BloomFiltersSkipIrrelevantTables) {
+  auto store = KvStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*store)
+                      ->Put("t" + std::to_string(t) + ":" + std::to_string(i),
+                            "v")
+                      .ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // Lookups for keys in the oldest table must bloom-skip newer tables.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*store)->Get("t0:" + std::to_string(i)).ok());
+  }
+  EXPECT_GT((*store)->stats().bloom_skips, 50u);
+}
+
+TEST_F(KvStoreTest, CompactionReclaimsOverwrittenSpace) {
+  auto store = KvStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  const std::string value(500, 'x');
+  // Overwrite the same small key set across many flushed generations.
+  for (int gen = 0; gen < 6; ++gen) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE((*store)->Put("k" + std::to_string(i), value).ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto disk_bytes = [&]() {
+    uint64_t total = 0;
+    auto files = ListDir(dir_);
+    for (const auto& name : *files) {
+      if (name.rfind("sst_", 0) == 0) {
+        total += FileSize(JoinPath(dir_, name)).value_or(0);
+      }
+    }
+    return total;
+  };
+  const uint64_t before = disk_bytes();
+  ASSERT_TRUE((*store)->CompactAll().ok());
+  const uint64_t after = disk_bytes();
+  EXPECT_LT(after * 3, before) << "compaction should drop 5/6 generations";
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE((*store)->Get("k" + std::to_string(i)).ok());
+  }
+}
+
+/// Model-based randomized test across memtable budgets: the store must
+/// always agree with a std::map reference.
+class KvStoreModelTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KvStoreModelTest, MatchesReferenceModel) {
+  auto dir = MakeTempDir("saga_kv_model");
+  ASSERT_TRUE(dir.ok());
+  KvStore::Options opts;
+  opts.memtable_max_bytes = GetParam();
+  auto store = KvStore::Open(*dir, opts);
+  ASSERT_TRUE(store.ok());
+
+  std::map<std::string, std::string> model;
+  Rng rng(GetParam());
+  for (int op = 0; op < 1500; ++op) {
+    const std::string key = "k" + std::to_string(rng.Uniform(64));
+    const uint64_t action = rng.Uniform(10);
+    if (action < 6) {
+      const std::string value = "v" + std::to_string(op);
+      ASSERT_TRUE((*store)->Put(key, value).ok());
+      model[key] = value;
+    } else if (action < 8) {
+      ASSERT_TRUE((*store)->Delete(key).ok());
+      model.erase(key);
+    } else if (action == 8) {
+      auto got = (*store)->Get(key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_TRUE(got.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << key;
+        EXPECT_EQ(*got, it->second);
+      }
+    } else {
+      ASSERT_TRUE((*store)->Flush().ok());
+      if (rng.Bernoulli(0.3)) {
+        ASSERT_TRUE((*store)->CompactAll().ok());
+      }
+    }
+  }
+  // Final full comparison via scan.
+  auto scan = (*store)->ScanPrefix("");
+  ASSERT_TRUE(scan.ok());
+  std::map<std::string, std::string> scanned(scan->begin(), scan->end());
+  EXPECT_EQ(scanned, model);
+  (void)RemoveDirRecursively(*dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(MemtableBudgets, KvStoreModelTest,
+                         ::testing::Values(512, 4096, 1 << 20));
+
+}  // namespace
+}  // namespace saga::storage

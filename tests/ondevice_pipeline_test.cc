@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "common/file_util.h"
+#include "ondevice/device_data_generator.h"
+#include "ondevice/incremental_pipeline.h"
+#include "ondevice/matcher.h"
+#include "storage/kv_store.h"
+
+namespace saga::ondevice {
+namespace {
+
+DeviceDataset MakeData(uint64_t seed = 99) {
+  DeviceDataConfig config;
+  config.seed = seed;
+  config.num_persons = 60;
+  return GenerateDeviceData(config);
+}
+
+std::vector<uint32_t> RunToCompletion(const std::vector<SourceRecord>& records) {
+  IncrementalPipeline pipeline(&records, IncrementalPipeline::Options());
+  while (!pipeline.done()) pipeline.RunSteps(1000);
+  return pipeline.clusters();
+}
+
+TEST(IncrementalPipelineTest, CompletesAndMatchesQuality) {
+  DeviceDataset data = MakeData();
+  const auto clusters = RunToCompletion(data.records);
+  ASSERT_EQ(clusters.size(), data.records.size());
+  const auto quality = EvaluateClustering(clusters, data.truth);
+  EXPECT_GT(quality.f1, 0.8);
+}
+
+TEST(IncrementalPipelineTest, StepBudgetIsRespected) {
+  DeviceDataset data = MakeData();
+  IncrementalPipeline pipeline(&data.records, IncrementalPipeline::Options());
+  const size_t ran = pipeline.RunSteps(5);
+  EXPECT_EQ(ran, 5u);
+  EXPECT_FALSE(pipeline.done());
+  EXPECT_EQ(pipeline.steps_executed(), 5u);
+}
+
+TEST(IncrementalPipelineTest, ProgressesThroughStages) {
+  DeviceDataset data = MakeData();
+  IncrementalPipeline pipeline(&data.records, IncrementalPipeline::Options());
+  EXPECT_EQ(pipeline.stage(), IncrementalPipeline::Stage::kIngest);
+  pipeline.RunSteps(data.records.size());
+  EXPECT_EQ(pipeline.stage(), IncrementalPipeline::Stage::kBlock);
+  while (!pipeline.done()) pipeline.RunSteps(1000);
+  EXPECT_EQ(pipeline.stage(), IncrementalPipeline::Stage::kDone);
+  EXPECT_EQ(pipeline.RunSteps(10), 0u);
+}
+
+/// Core §5 property: pausing/resuming at ANY granularity produces
+/// exactly the same result as an uninterrupted run.
+class PauseResumeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PauseResumeTest, ChoppyExecutionMatchesStraightRun) {
+  DeviceDataset data = MakeData();
+  const auto reference = RunToCompletion(data.records);
+
+  IncrementalPipeline pipeline(&data.records, IncrementalPipeline::Options());
+  while (!pipeline.done()) {
+    pipeline.RunSteps(GetParam());
+  }
+  EXPECT_EQ(pipeline.clusters(), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(StepSizes, PauseResumeTest,
+                         ::testing::Values(1, 7, 64, 1000));
+
+TEST(CheckpointTest, RestoreMidIngestProducesIdenticalResult) {
+  DeviceDataset data = MakeData();
+  const auto reference = RunToCompletion(data.records);
+
+  IncrementalPipeline pipeline(&data.records, IncrementalPipeline::Options());
+  pipeline.RunSteps(data.records.size() / 2);  // mid-ingest
+  const std::string checkpoint = pipeline.Checkpoint();
+
+  auto restored = IncrementalPipeline::Restore(
+      &data.records, IncrementalPipeline::Options(), checkpoint);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->stage(), pipeline.stage());
+  EXPECT_EQ(restored->steps_executed(), pipeline.steps_executed());
+  while (!restored->done()) restored->RunSteps(1000);
+  EXPECT_EQ(restored->clusters(), reference);
+}
+
+TEST(CheckpointTest, RestoreAtEveryStageBoundary) {
+  DeviceDataset data = MakeData();
+  const auto reference = RunToCompletion(data.records);
+
+  IncrementalPipeline probe(&data.records, IncrementalPipeline::Options());
+  std::vector<std::string> checkpoints;
+  IncrementalPipeline::Stage last_stage = probe.stage();
+  checkpoints.push_back(probe.Checkpoint());
+  while (!probe.done()) {
+    probe.RunSteps(1);
+    if (probe.stage() != last_stage) {
+      checkpoints.push_back(probe.Checkpoint());
+      last_stage = probe.stage();
+    }
+  }
+  EXPECT_GE(checkpoints.size(), 4u);  // ingest, block, match, fuse/done
+  for (const std::string& cp : checkpoints) {
+    auto restored = IncrementalPipeline::Restore(
+        &data.records, IncrementalPipeline::Options(), cp);
+    ASSERT_TRUE(restored.ok());
+    while (!restored->done()) restored->RunSteps(512);
+    EXPECT_EQ(restored->clusters(), reference);
+  }
+}
+
+TEST(CheckpointTest, CheckpointSurvivesKvStore) {
+  DeviceDataset data = MakeData();
+  auto dir = MakeTempDir("saga_ckpt_kv");
+  ASSERT_TRUE(dir.ok());
+  IncrementalPipeline pipeline(&data.records, IncrementalPipeline::Options());
+  pipeline.RunSteps(100);
+  {
+    auto kv = storage::KvStore::Open(*dir);
+    ASSERT_TRUE(kv.ok());
+    ASSERT_TRUE(
+        (*kv)->Put("construction_checkpoint", pipeline.Checkpoint()).ok());
+    ASSERT_TRUE((*kv)->Flush().ok());
+  }
+  // "Reboot": reopen store, restore, finish.
+  auto kv = storage::KvStore::Open(*dir);
+  ASSERT_TRUE(kv.ok());
+  auto blob = (*kv)->Get("construction_checkpoint");
+  ASSERT_TRUE(blob.ok());
+  auto restored = IncrementalPipeline::Restore(
+      &data.records, IncrementalPipeline::Options(), *blob);
+  ASSERT_TRUE(restored.ok());
+  while (!restored->done()) restored->RunSteps(1000);
+  EXPECT_EQ(restored->clusters(), RunToCompletion(data.records));
+  (void)RemoveDirRecursively(*dir);
+}
+
+TEST(CheckpointTest, GarbageCheckpointRejected) {
+  DeviceDataset data = MakeData();
+  EXPECT_FALSE(IncrementalPipeline::Restore(&data.records,
+                                            IncrementalPipeline::Options(),
+                                            "garbage")
+                   .ok());
+}
+
+TEST(IncrementalPipelineTest, StateMemoryIsTrackedAndBounded) {
+  DeviceDataset data = MakeData();
+  IncrementalPipeline pipeline(&data.records, IncrementalPipeline::Options());
+  while (!pipeline.done()) pipeline.RunSteps(100);
+  EXPECT_GT(pipeline.peak_state_bytes(), 0u);
+  // Intermediate state should be far below the quadratic worst case of
+  // n^2 pairs * 40 bytes.
+  const size_t n = data.records.size();
+  EXPECT_LT(pipeline.peak_state_bytes(), n * n * 40 / 4);
+}
+
+TEST(IncrementalPipelineTest, EmptyInputIsImmediatelyDone) {
+  std::vector<SourceRecord> empty;
+  IncrementalPipeline pipeline(&empty, IncrementalPipeline::Options());
+  EXPECT_TRUE(pipeline.done());
+  EXPECT_TRUE(pipeline.clusters().empty());
+  EXPECT_TRUE(pipeline.FusedPersons().empty());
+}
+
+TEST(IncrementalPipelineTest, FusedPersonsMatchClusterCount) {
+  DeviceDataset data = MakeData();
+  IncrementalPipeline pipeline(&data.records, IncrementalPipeline::Options());
+  while (!pipeline.done()) pipeline.RunSteps(1000);
+  const auto fused = pipeline.FusedPersons();
+  std::set<uint32_t> distinct(pipeline.clusters().begin(),
+                              pipeline.clusters().end());
+  EXPECT_EQ(fused.size(), distinct.size());
+}
+
+}  // namespace
+}  // namespace saga::ondevice

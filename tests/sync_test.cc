@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/file_util.h"
+#include "ondevice/device_data_generator.h"
+#include "ondevice/sync.h"
+
+namespace saga::ondevice {
+namespace {
+
+/// Builds the Fig-7-style fleet: a laptop hosting contacts+calendar, a
+/// phone hosting messages, a watch hosting nothing. Contacts and
+/// messages sync everywhere; calendar stays on the laptop.
+std::vector<Device> MakeFleet(const DeviceDataset& data) {
+  DeviceConfig laptop_cfg;
+  laptop_cfg.id = "laptop";
+  laptop_cfg.compute_power = 10.0;
+  laptop_cfg.has_source[static_cast<int>(SourceKind::kContacts)] = true;
+  laptop_cfg.has_source[static_cast<int>(SourceKind::kCalendar)] = true;
+  laptop_cfg.sync_enabled[static_cast<int>(SourceKind::kContacts)] = true;
+  laptop_cfg.sync_enabled[static_cast<int>(SourceKind::kMessages)] = true;
+  // calendar NOT synced.
+
+  DeviceConfig phone_cfg;
+  phone_cfg.id = "phone";
+  phone_cfg.compute_power = 3.0;
+  phone_cfg.has_source[static_cast<int>(SourceKind::kMessages)] = true;
+  phone_cfg.sync_enabled[static_cast<int>(SourceKind::kContacts)] = true;
+  phone_cfg.sync_enabled[static_cast<int>(SourceKind::kMessages)] = true;
+
+  DeviceConfig watch_cfg;
+  watch_cfg.id = "watch";
+  watch_cfg.compute_power = 0.5;
+  watch_cfg.sync_enabled[static_cast<int>(SourceKind::kContacts)] = true;
+  watch_cfg.sync_enabled[static_cast<int>(SourceKind::kMessages)] = true;
+
+  std::vector<Device> devices;
+  devices.emplace_back(laptop_cfg);
+  devices.emplace_back(phone_cfg);
+  devices.emplace_back(watch_cfg);
+
+  for (const SourceRecord& rec : data.records) {
+    switch (rec.source) {
+      case SourceKind::kContacts:
+      case SourceKind::kCalendar:
+        devices[0].AddLocalRecord(rec);
+        break;
+      case SourceKind::kMessages:
+        devices[1].AddLocalRecord(rec);
+        break;
+    }
+  }
+  return devices;
+}
+
+DeviceDataset MakeData() {
+  DeviceDataConfig config;
+  config.num_persons = 50;
+  return GenerateDeviceData(config);
+}
+
+TEST(SyncTest, SyncedSourcesConverge) {
+  DeviceDataset data = MakeData();
+  auto devices = MakeFleet(data);
+  EXPECT_FALSE(
+      SyncService::SourcesConsistent(devices, SourceKind::kContacts));
+
+  SyncService sync;
+  const SyncStats stats = sync.SyncAll(&devices);
+  EXPECT_GT(stats.records_sent, 0u);
+  EXPECT_GT(stats.bytes_sent, 0u);
+  EXPECT_TRUE(
+      SyncService::SourcesConsistent(devices, SourceKind::kContacts));
+  EXPECT_TRUE(
+      SyncService::SourcesConsistent(devices, SourceKind::kMessages));
+}
+
+TEST(SyncTest, UnsyncedSourceStaysIsolated) {
+  DeviceDataset data = MakeData();
+  auto devices = MakeFleet(data);
+  SyncService sync;
+  (void)sync.SyncAll(&devices);
+
+  // Calendar records exist only on the laptop.
+  EXPECT_FALSE(devices[0].RecordsOfSource(SourceKind::kCalendar).empty());
+  EXPECT_TRUE(devices[1].RecordsOfSource(SourceKind::kCalendar).empty());
+  EXPECT_TRUE(devices[2].RecordsOfSource(SourceKind::kCalendar).empty());
+}
+
+TEST(SyncTest, SyncIsIdempotent) {
+  DeviceDataset data = MakeData();
+  auto devices = MakeFleet(data);
+  SyncService sync;
+  (void)sync.SyncAll(&devices);
+  const SyncStats again = sync.SyncAll(&devices);
+  EXPECT_EQ(again.records_sent, 0u);
+  EXPECT_EQ(again.bytes_sent, 0u);
+}
+
+TEST(SyncTest, LastWriterWinsOnConcurrentUpdate) {
+  DeviceConfig a_cfg;
+  a_cfg.id = "a";
+  a_cfg.sync_enabled[static_cast<int>(SourceKind::kContacts)] = true;
+  DeviceConfig b_cfg;
+  b_cfg.id = "b";
+  b_cfg.sync_enabled[static_cast<int>(SourceKind::kContacts)] = true;
+  std::vector<Device> devices;
+  devices.emplace_back(a_cfg);
+  devices.emplace_back(b_cfg);
+
+  SourceRecord old_version;
+  old_version.source = SourceKind::kContacts;
+  old_version.native_id = "contacts:1";
+  old_version.name = "Old Name";
+  old_version.timestamp = 10;
+  SourceRecord new_version = old_version;
+  new_version.name = "New Name";
+  new_version.timestamp = 20;
+
+  devices[0].AddLocalRecord(old_version);
+  devices[1].AddLocalRecord(new_version);
+  SyncService sync;
+  (void)sync.SyncAll(&devices);
+  EXPECT_EQ(devices[0].RecordsOfSource(SourceKind::kContacts)[0].name,
+            "New Name");
+  EXPECT_EQ(devices[1].RecordsOfSource(SourceKind::kContacts)[0].name,
+            "New Name");
+}
+
+TEST(SyncTest, ApplyRemoteIgnoresStaleUpdates) {
+  DeviceConfig cfg;
+  cfg.id = "d";
+  Device device(cfg);
+  SourceRecord fresh;
+  fresh.native_id = "x";
+  fresh.name = "fresh";
+  fresh.timestamp = 100;
+  SourceRecord stale = fresh;
+  stale.name = "stale";
+  stale.timestamp = 50;
+  EXPECT_TRUE(device.ApplyRemote(fresh));
+  EXPECT_FALSE(device.ApplyRemote(stale));
+  EXPECT_FALSE(device.ApplyRemote(fresh));  // duplicate
+  EXPECT_EQ(device.VisibleRecords()[0].name, "fresh");
+}
+
+TEST(SyncTest, DeletionPropagatesAsTombstone) {
+  DeviceConfig a_cfg;
+  a_cfg.id = "a";
+  a_cfg.sync_enabled[static_cast<int>(SourceKind::kContacts)] = true;
+  DeviceConfig b_cfg = a_cfg;
+  b_cfg.id = "b";
+  std::vector<Device> devices;
+  devices.emplace_back(a_cfg);
+  devices.emplace_back(b_cfg);
+
+  SourceRecord rec;
+  rec.source = SourceKind::kContacts;
+  rec.native_id = "contacts:1";
+  rec.name = "Removed Person";
+  rec.timestamp = 10;
+  devices[0].AddLocalRecord(rec);
+  SyncService sync;
+  (void)sync.SyncAll(&devices);
+  ASSERT_EQ(devices[1].RecordsOfSource(SourceKind::kContacts).size(), 1u);
+
+  // Delete on device A at a later time; B must drop it after sync.
+  devices[0].DeleteRecord("contacts:1", SourceKind::kContacts, 20);
+  (void)sync.SyncAll(&devices);
+  EXPECT_TRUE(devices[0].RecordsOfSource(SourceKind::kContacts).empty());
+  EXPECT_TRUE(devices[1].RecordsOfSource(SourceKind::kContacts).empty());
+
+  // A stale re-introduction (older timestamp) is suppressed everywhere.
+  SourceRecord stale = rec;
+  stale.timestamp = 15;
+  EXPECT_FALSE(devices[1].ApplyRemote(stale));
+  (void)sync.SyncAll(&devices);
+  EXPECT_TRUE(devices[0].RecordsOfSource(SourceKind::kContacts).empty());
+}
+
+TEST(SyncTest, NewerUpdateSurvivesOlderTombstone) {
+  DeviceConfig cfg;
+  cfg.id = "d";
+  cfg.sync_enabled[static_cast<int>(SourceKind::kContacts)] = true;
+  Device device(cfg);
+  device.DeleteRecord("contacts:9", SourceKind::kContacts, 10);
+  SourceRecord fresh;
+  fresh.source = SourceKind::kContacts;
+  fresh.native_id = "contacts:9";
+  fresh.name = "Recreated";
+  fresh.timestamp = 30;  // written after the deletion
+  EXPECT_TRUE(device.ApplyRemote(fresh));
+  EXPECT_EQ(device.RecordsOfSource(SourceKind::kContacts).size(), 1u);
+}
+
+TEST(SyncTest, TombstoneOfUnsyncedSourceStaysLocal) {
+  DeviceDataset data = MakeData();
+  auto devices = MakeFleet(data);
+  SyncService sync;
+  (void)sync.SyncAll(&devices);
+  // Delete a calendar record (unsynced) on the laptop.
+  const auto calendar =
+      devices[0].RecordsOfSource(SourceKind::kCalendar);
+  ASSERT_FALSE(calendar.empty());
+  devices[0].DeleteRecord(calendar[0].native_id, SourceKind::kCalendar,
+                          99999);
+  (void)sync.SyncAll(&devices);
+  EXPECT_TRUE(devices[1].tombstones().empty());
+  EXPECT_TRUE(devices[2].tombstones().empty());
+}
+
+TEST(OffloadTest, PowerfulDeviceComputesAndShipsFusion) {
+  DeviceDataset data = MakeData();
+  auto devices = MakeFleet(data);
+  SyncService sync;
+  (void)sync.SyncAll(&devices);
+
+  auto dir = MakeTempDir("saga_offload");
+  ASSERT_TRUE(dir.ok());
+  const OffloadStats stats = OffloadFusion(&devices, *dir);
+  EXPECT_EQ(stats.compute_device, "laptop");
+  EXPECT_GT(stats.persons_shipped, 0u);
+  EXPECT_GT(stats.bytes_shipped, 0u);
+  // Every device adopted the same fused view.
+  ASSERT_FALSE(devices[2].fused().empty());
+  EXPECT_EQ(devices[0].fused().size(), devices[2].fused().size());
+  EXPECT_EQ(devices[1].fused().size(), devices[2].fused().size());
+  (void)RemoveDirRecursively(*dir);
+}
+
+TEST(OffloadTest, WatchViewCoversSyncedPersons) {
+  DeviceDataset data = MakeData();
+  auto devices = MakeFleet(data);
+  SyncService sync;
+  (void)sync.SyncAll(&devices);
+  auto dir = MakeTempDir("saga_offload2");
+  ASSERT_TRUE(dir.ok());
+  (void)OffloadFusion(&devices, *dir);
+
+  // Persons appearing in contacts must be present in the watch's fused
+  // view (contacts are synced).
+  std::set<std::string> fused_names;
+  for (const FusedPerson& p : devices[2].fused()) {
+    for (const std::string& n : p.names) fused_names.insert(n);
+  }
+  size_t covered = 0;
+  size_t total = 0;
+  for (const SourceRecord& rec :
+       devices[0].RecordsOfSource(SourceKind::kContacts)) {
+    ++total;
+    if (fused_names.count(rec.name)) ++covered;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_EQ(covered, total);
+  (void)RemoveDirRecursively(*dir);
+}
+
+}  // namespace
+}  // namespace saga::ondevice

@@ -1,0 +1,231 @@
+// saga_cli — command-line front end for KG snapshots.
+//
+//   saga_cli generate <out.kg> [num_persons]   build a synthetic KG
+//   saga_cli stats <kg>                         size + coverage report
+//   saga_cli entity <kg> <name>                 entity record + facts
+//   saga_cli ask <kg> <query...>                question answering
+//   saga_cli annotate <kg> <text...>            semantic annotation
+//   saga_cli related <kg> <name> [k]            related entities (PPR)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "annotation/annotator.h"
+#include "annotation/query_answering.h"
+#include "common/string_util.h"
+#include "embedding/embedding_store.h"
+#include "graph_engine/view.h"
+#include "kg/kg_generator.h"
+#include "kg/knowledge_graph.h"
+#include "odke/profiler.h"
+#include "serving/embedding_service.h"
+#include "serving/related_entities.h"
+
+namespace saga {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  saga_cli generate <out.kg> [num_persons]\n"
+               "  saga_cli stats <kg>\n"
+               "  saga_cli entity <kg> <name>\n"
+               "  saga_cli ask <kg> <query...>\n"
+               "  saga_cli annotate <kg> <text...>\n"
+               "  saga_cli related <kg> <name> [k]\n");
+  return 2;
+}
+
+std::string JoinArgs(int argc, char** argv, int from) {
+  std::string out;
+  for (int i = from; i < argc; ++i) {
+    if (!out.empty()) out.push_back(' ');
+    out += argv[i];
+  }
+  return out;
+}
+
+Result<kg::KnowledgeGraph> LoadKg(const char* path) {
+  return kg::KnowledgeGraph::Load(path);
+}
+
+std::string ValueToDisplay(const kg::KnowledgeGraph& kg,
+                           const kg::Value& v) {
+  return v.is_entity() ? kg.catalog().name(v.entity()) : v.ToString();
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  kg::KgGeneratorConfig config;
+  if (argc >= 4) config.num_persons = std::atoi(argv[3]);
+  kg::GeneratedKg gen = kg::GenerateKg(config);
+  const Status s = gen.kg.Save(argv[2]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu entities, %zu triples, %zu predicates\n",
+              argv[2], gen.kg.num_entities(), gen.kg.num_triples(),
+              gen.kg.ontology().num_predicates());
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto kg = LoadKg(argv[2]);
+  if (!kg.ok()) {
+    std::fprintf(stderr, "%s\n", kg.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("entities:   %zu\n", kg->num_entities());
+  std::printf("triples:    %zu\n", kg->num_triples());
+  std::printf("types:      %zu\n", kg->ontology().num_types());
+  std::printf("predicates: %zu\n", kg->ontology().num_predicates());
+  std::printf("sources:    %zu\n", kg->num_sources());
+  std::printf("\nper-predicate coverage of functional predicates:\n");
+  odke::KgProfiler profiler(&*kg);
+  for (const auto& meta : kg->ontology().predicates()) {
+    if (!meta.functional || !meta.domain.valid()) continue;
+    std::printf("  %-22s %.1f%% of %s\n", meta.name.c_str(),
+                100.0 * profiler.Coverage(meta.domain, meta.id),
+                kg->ontology().type_name(meta.domain).c_str());
+  }
+  return 0;
+}
+
+int CmdEntity(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto kg = LoadKg(argv[2]);
+  if (!kg.ok()) {
+    std::fprintf(stderr, "%s\n", kg.status().ToString().c_str());
+    return 1;
+  }
+  const std::string name = JoinArgs(argc, argv, 3);
+  const auto& candidates = kg->catalog().LookupAlias(name);
+  if (candidates.empty()) {
+    std::printf("no entity with alias \"%s\"\n", name.c_str());
+    return 1;
+  }
+  for (kg::EntityId id : candidates) {
+    const auto& rec = kg->catalog().record(id);
+    std::printf("E%llu  %s  (popularity %.3f)\n",
+                static_cast<unsigned long long>(id.value()),
+                rec.canonical_name.c_str(), rec.popularity);
+    std::printf("  types:");
+    for (kg::TypeId t : rec.types) {
+      std::printf(" %s", kg->ontology().type_name(t).c_str());
+    }
+    std::printf("\n  facts:\n");
+    size_t shown = 0;
+    for (kg::TripleIdx idx : kg->triples().BySubject(id)) {
+      const auto& t = kg->triples().triple(idx);
+      std::printf("    %-22s %s\n",
+                  kg->ontology().predicate_name(t.predicate).c_str(),
+                  ValueToDisplay(*kg, t.object).c_str());
+      if (++shown >= 12) {
+        std::printf("    ...\n");
+        break;
+      }
+    }
+  }
+  return 0;
+}
+
+int CmdAsk(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto kg = LoadKg(argv[2]);
+  if (!kg.ok()) {
+    std::fprintf(stderr, "%s\n", kg.status().ToString().c_str());
+    return 1;
+  }
+  annotation::QueryAnswerer answerer(&*kg, nullptr);
+  const auto answer = answerer.Ask(JoinArgs(argc, argv, 3));
+  std::printf("%s\n", answer.explanation.c_str());
+  if (!answer.answered) {
+    std::printf("(no answer)\n");
+    return 1;
+  }
+  for (size_t i = 0; i < answer.facts.size() && i < 10; ++i) {
+    std::printf("%zu. %s\n", i + 1,
+                ValueToDisplay(*kg, answer.facts[i].object).c_str());
+  }
+  return 0;
+}
+
+int CmdAnnotate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto kg = LoadKg(argv[2]);
+  if (!kg.ok()) {
+    std::fprintf(stderr, "%s\n", kg.status().ToString().c_str());
+    return 1;
+  }
+  annotation::Annotator annotator(&*kg, nullptr);
+  const std::string text = JoinArgs(argc, argv, 3);
+  for (const auto& a : annotator.Annotate(text)) {
+    std::printf("[%zu,%zu) \"%s\" -> %s (%s, score %.2f)\n",
+                a.mention.begin, a.mention.end, a.mention.surface.c_str(),
+                kg->catalog().name(a.entity).c_str(),
+                a.type.valid() ? kg->ontology().type_name(a.type).c_str()
+                               : "?",
+                a.score);
+  }
+  return 0;
+}
+
+int CmdRelated(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto kg = LoadKg(argv[2]);
+  if (!kg.ok()) {
+    std::fprintf(stderr, "%s\n", kg.status().ToString().c_str());
+    return 1;
+  }
+  size_t k = 8;
+  int name_end = argc;
+  if (argc >= 5 && std::atoi(argv[argc - 1]) > 0) {
+    k = static_cast<size_t>(std::atoi(argv[argc - 1]));
+    name_end = argc - 1;
+  }
+  const std::string name = JoinArgs(name_end, argv, 3);
+  auto entity = kg->catalog().FindByName(name);
+  if (!entity.ok()) {
+    std::fprintf(stderr, "unknown entity \"%s\"\n", name.c_str());
+    return 1;
+  }
+  graph_engine::ViewDefinition def;
+  def.min_confidence = 0.4;
+  auto view = graph_engine::GraphView::Build(*kg, def);
+  // PPR engine needs no trained embeddings — instant on a snapshot.
+  serving::EmbeddingService empty_service(embedding::EmbeddingStore(),
+                                          &*kg);
+  serving::RelatedEntitiesService::Options opts;
+  opts.mode = serving::RelatedEntitiesService::Mode::kPpr;
+  serving::RelatedEntitiesService related(&*kg, &view, &empty_service,
+                                          opts);
+  auto hits = related.Related(*entity, k);
+  if (!hits.ok()) {
+    std::fprintf(stderr, "%s\n", hits.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& [e, score] : *hits) {
+    std::printf("%-30s %.4f\n", kg->catalog().name(e).c_str(), score);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(argc, argv);
+  if (cmd == "stats") return CmdStats(argc, argv);
+  if (cmd == "entity") return CmdEntity(argc, argv);
+  if (cmd == "ask") return CmdAsk(argc, argv);
+  if (cmd == "annotate") return CmdAnnotate(argc, argv);
+  if (cmd == "related") return CmdRelated(argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace saga
+
+int main(int argc, char** argv) { return saga::Main(argc, argv); }
