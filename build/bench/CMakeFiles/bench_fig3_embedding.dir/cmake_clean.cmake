@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_embedding.dir/bench_fig3_embedding.cc.o"
+  "CMakeFiles/bench_fig3_embedding.dir/bench_fig3_embedding.cc.o.d"
+  "bench_fig3_embedding"
+  "bench_fig3_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

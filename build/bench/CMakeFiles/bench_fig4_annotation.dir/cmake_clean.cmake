@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_annotation.dir/bench_fig4_annotation.cc.o"
+  "CMakeFiles/bench_fig4_annotation.dir/bench_fig4_annotation.cc.o.d"
+  "bench_fig4_annotation"
+  "bench_fig4_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_odke.dir/bench_fig5_odke.cc.o"
+  "CMakeFiles/bench_fig5_odke.dir/bench_fig5_odke.cc.o.d"
+  "bench_fig5_odke"
+  "bench_fig5_odke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_odke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ondevice.dir/bench_fig7_ondevice.cc.o"
+  "CMakeFiles/bench_fig7_ondevice.dir/bench_fig7_ondevice.cc.o.d"
+  "bench_fig7_ondevice"
+  "bench_fig7_ondevice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ondevice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_the_web.dir/link_the_web.cpp.o"
+  "CMakeFiles/link_the_web.dir/link_the_web.cpp.o.d"
+  "link_the_web"
+  "link_the_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_the_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for link_the_web.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odke_missing_fact.dir/odke_missing_fact.cpp.o"
+  "CMakeFiles/odke_missing_fact.dir/odke_missing_fact.cpp.o.d"
+  "odke_missing_fact"
+  "odke_missing_fact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odke_missing_fact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

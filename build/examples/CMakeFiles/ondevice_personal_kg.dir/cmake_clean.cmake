@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ondevice_personal_kg.dir/ondevice_personal_kg.cpp.o"
+  "CMakeFiles/ondevice_personal_kg.dir/ondevice_personal_kg.cpp.o.d"
+  "ondevice_personal_kg"
+  "ondevice_personal_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ondevice_personal_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

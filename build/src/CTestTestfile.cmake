@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("kg")
+subdirs("storage")
+subdirs("text")
+subdirs("graph_engine")
+subdirs("embedding")
+subdirs("ann")
+subdirs("serving")
+subdirs("websim")
+subdirs("annotation")
+subdirs("odke")
+subdirs("ondevice")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ann/brute_force_index.cc" "src/ann/CMakeFiles/saga_ann.dir/brute_force_index.cc.o" "gcc" "src/ann/CMakeFiles/saga_ann.dir/brute_force_index.cc.o.d"
+  "/root/repo/src/ann/ivf_index.cc" "src/ann/CMakeFiles/saga_ann.dir/ivf_index.cc.o" "gcc" "src/ann/CMakeFiles/saga_ann.dir/ivf_index.cc.o.d"
+  "/root/repo/src/ann/quantization.cc" "src/ann/CMakeFiles/saga_ann.dir/quantization.cc.o" "gcc" "src/ann/CMakeFiles/saga_ann.dir/quantization.cc.o.d"
+  "/root/repo/src/ann/quantized_index.cc" "src/ann/CMakeFiles/saga_ann.dir/quantized_index.cc.o" "gcc" "src/ann/CMakeFiles/saga_ann.dir/quantized_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

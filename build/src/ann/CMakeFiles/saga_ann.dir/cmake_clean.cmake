@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saga_ann.dir/brute_force_index.cc.o"
+  "CMakeFiles/saga_ann.dir/brute_force_index.cc.o.d"
+  "CMakeFiles/saga_ann.dir/ivf_index.cc.o"
+  "CMakeFiles/saga_ann.dir/ivf_index.cc.o.d"
+  "CMakeFiles/saga_ann.dir/quantization.cc.o"
+  "CMakeFiles/saga_ann.dir/quantization.cc.o.d"
+  "CMakeFiles/saga_ann.dir/quantized_index.cc.o"
+  "CMakeFiles/saga_ann.dir/quantized_index.cc.o.d"
+  "libsaga_ann.a"
+  "libsaga_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saga_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/annotation/annotator.cc" "src/annotation/CMakeFiles/saga_annotation.dir/annotator.cc.o" "gcc" "src/annotation/CMakeFiles/saga_annotation.dir/annotator.cc.o.d"
+  "/root/repo/src/annotation/candidate_generator.cc" "src/annotation/CMakeFiles/saga_annotation.dir/candidate_generator.cc.o" "gcc" "src/annotation/CMakeFiles/saga_annotation.dir/candidate_generator.cc.o.d"
+  "/root/repo/src/annotation/context_reranker.cc" "src/annotation/CMakeFiles/saga_annotation.dir/context_reranker.cc.o" "gcc" "src/annotation/CMakeFiles/saga_annotation.dir/context_reranker.cc.o.d"
+  "/root/repo/src/annotation/mention_detector.cc" "src/annotation/CMakeFiles/saga_annotation.dir/mention_detector.cc.o" "gcc" "src/annotation/CMakeFiles/saga_annotation.dir/mention_detector.cc.o.d"
+  "/root/repo/src/annotation/query_answering.cc" "src/annotation/CMakeFiles/saga_annotation.dir/query_answering.cc.o" "gcc" "src/annotation/CMakeFiles/saga_annotation.dir/query_answering.cc.o.d"
+  "/root/repo/src/annotation/web_linker.cc" "src/annotation/CMakeFiles/saga_annotation.dir/web_linker.cc.o" "gcc" "src/annotation/CMakeFiles/saga_annotation.dir/web_linker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serving/CMakeFiles/saga_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/websim/CMakeFiles/saga_websim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/saga_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/saga_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/saga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/saga_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/saga_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph_engine/CMakeFiles/saga_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/saga_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saga_annotation.dir/annotator.cc.o"
+  "CMakeFiles/saga_annotation.dir/annotator.cc.o.d"
+  "CMakeFiles/saga_annotation.dir/candidate_generator.cc.o"
+  "CMakeFiles/saga_annotation.dir/candidate_generator.cc.o.d"
+  "CMakeFiles/saga_annotation.dir/context_reranker.cc.o"
+  "CMakeFiles/saga_annotation.dir/context_reranker.cc.o.d"
+  "CMakeFiles/saga_annotation.dir/mention_detector.cc.o"
+  "CMakeFiles/saga_annotation.dir/mention_detector.cc.o.d"
+  "CMakeFiles/saga_annotation.dir/query_answering.cc.o"
+  "CMakeFiles/saga_annotation.dir/query_answering.cc.o.d"
+  "CMakeFiles/saga_annotation.dir/web_linker.cc.o"
+  "CMakeFiles/saga_annotation.dir/web_linker.cc.o.d"
+  "libsaga_annotation.a"
+  "libsaga_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saga_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

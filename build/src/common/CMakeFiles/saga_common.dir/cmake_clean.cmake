@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saga_common.dir/file_util.cc.o"
+  "CMakeFiles/saga_common.dir/file_util.cc.o.d"
+  "CMakeFiles/saga_common.dir/logging.cc.o"
+  "CMakeFiles/saga_common.dir/logging.cc.o.d"
+  "CMakeFiles/saga_common.dir/metrics.cc.o"
+  "CMakeFiles/saga_common.dir/metrics.cc.o.d"
+  "CMakeFiles/saga_common.dir/rng.cc.o"
+  "CMakeFiles/saga_common.dir/rng.cc.o.d"
+  "CMakeFiles/saga_common.dir/serialization.cc.o"
+  "CMakeFiles/saga_common.dir/serialization.cc.o.d"
+  "CMakeFiles/saga_common.dir/status.cc.o"
+  "CMakeFiles/saga_common.dir/status.cc.o.d"
+  "CMakeFiles/saga_common.dir/string_util.cc.o"
+  "CMakeFiles/saga_common.dir/string_util.cc.o.d"
+  "CMakeFiles/saga_common.dir/threadpool.cc.o"
+  "CMakeFiles/saga_common.dir/threadpool.cc.o.d"
+  "libsaga_common.a"
+  "libsaga_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saga_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/disk_trainer.cc" "src/embedding/CMakeFiles/saga_embedding.dir/disk_trainer.cc.o" "gcc" "src/embedding/CMakeFiles/saga_embedding.dir/disk_trainer.cc.o.d"
+  "/root/repo/src/embedding/embedding_store.cc" "src/embedding/CMakeFiles/saga_embedding.dir/embedding_store.cc.o" "gcc" "src/embedding/CMakeFiles/saga_embedding.dir/embedding_store.cc.o.d"
+  "/root/repo/src/embedding/embedding_table.cc" "src/embedding/CMakeFiles/saga_embedding.dir/embedding_table.cc.o" "gcc" "src/embedding/CMakeFiles/saga_embedding.dir/embedding_table.cc.o.d"
+  "/root/repo/src/embedding/evaluator.cc" "src/embedding/CMakeFiles/saga_embedding.dir/evaluator.cc.o" "gcc" "src/embedding/CMakeFiles/saga_embedding.dir/evaluator.cc.o.d"
+  "/root/repo/src/embedding/model.cc" "src/embedding/CMakeFiles/saga_embedding.dir/model.cc.o" "gcc" "src/embedding/CMakeFiles/saga_embedding.dir/model.cc.o.d"
+  "/root/repo/src/embedding/negative_sampler.cc" "src/embedding/CMakeFiles/saga_embedding.dir/negative_sampler.cc.o" "gcc" "src/embedding/CMakeFiles/saga_embedding.dir/negative_sampler.cc.o.d"
+  "/root/repo/src/embedding/reasoning.cc" "src/embedding/CMakeFiles/saga_embedding.dir/reasoning.cc.o" "gcc" "src/embedding/CMakeFiles/saga_embedding.dir/reasoning.cc.o.d"
+  "/root/repo/src/embedding/trainer.cc" "src/embedding/CMakeFiles/saga_embedding.dir/trainer.cc.o" "gcc" "src/embedding/CMakeFiles/saga_embedding.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph_engine/CMakeFiles/saga_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/saga_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/saga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

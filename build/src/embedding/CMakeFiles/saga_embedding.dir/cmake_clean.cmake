@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saga_embedding.dir/disk_trainer.cc.o"
+  "CMakeFiles/saga_embedding.dir/disk_trainer.cc.o.d"
+  "CMakeFiles/saga_embedding.dir/embedding_store.cc.o"
+  "CMakeFiles/saga_embedding.dir/embedding_store.cc.o.d"
+  "CMakeFiles/saga_embedding.dir/embedding_table.cc.o"
+  "CMakeFiles/saga_embedding.dir/embedding_table.cc.o.d"
+  "CMakeFiles/saga_embedding.dir/evaluator.cc.o"
+  "CMakeFiles/saga_embedding.dir/evaluator.cc.o.d"
+  "CMakeFiles/saga_embedding.dir/model.cc.o"
+  "CMakeFiles/saga_embedding.dir/model.cc.o.d"
+  "CMakeFiles/saga_embedding.dir/negative_sampler.cc.o"
+  "CMakeFiles/saga_embedding.dir/negative_sampler.cc.o.d"
+  "CMakeFiles/saga_embedding.dir/reasoning.cc.o"
+  "CMakeFiles/saga_embedding.dir/reasoning.cc.o.d"
+  "CMakeFiles/saga_embedding.dir/trainer.cc.o"
+  "CMakeFiles/saga_embedding.dir/trainer.cc.o.d"
+  "libsaga_embedding.a"
+  "libsaga_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saga_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

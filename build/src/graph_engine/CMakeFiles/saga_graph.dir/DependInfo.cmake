@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph_engine/partitioner.cc" "src/graph_engine/CMakeFiles/saga_graph.dir/partitioner.cc.o" "gcc" "src/graph_engine/CMakeFiles/saga_graph.dir/partitioner.cc.o.d"
+  "/root/repo/src/graph_engine/ppr.cc" "src/graph_engine/CMakeFiles/saga_graph.dir/ppr.cc.o" "gcc" "src/graph_engine/CMakeFiles/saga_graph.dir/ppr.cc.o.d"
+  "/root/repo/src/graph_engine/query.cc" "src/graph_engine/CMakeFiles/saga_graph.dir/query.cc.o" "gcc" "src/graph_engine/CMakeFiles/saga_graph.dir/query.cc.o.d"
+  "/root/repo/src/graph_engine/sampler.cc" "src/graph_engine/CMakeFiles/saga_graph.dir/sampler.cc.o" "gcc" "src/graph_engine/CMakeFiles/saga_graph.dir/sampler.cc.o.d"
+  "/root/repo/src/graph_engine/traversal.cc" "src/graph_engine/CMakeFiles/saga_graph.dir/traversal.cc.o" "gcc" "src/graph_engine/CMakeFiles/saga_graph.dir/traversal.cc.o.d"
+  "/root/repo/src/graph_engine/view.cc" "src/graph_engine/CMakeFiles/saga_graph.dir/view.cc.o" "gcc" "src/graph_engine/CMakeFiles/saga_graph.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kg/CMakeFiles/saga_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/saga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

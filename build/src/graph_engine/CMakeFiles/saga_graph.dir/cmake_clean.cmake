@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saga_graph.dir/partitioner.cc.o"
+  "CMakeFiles/saga_graph.dir/partitioner.cc.o.d"
+  "CMakeFiles/saga_graph.dir/ppr.cc.o"
+  "CMakeFiles/saga_graph.dir/ppr.cc.o.d"
+  "CMakeFiles/saga_graph.dir/query.cc.o"
+  "CMakeFiles/saga_graph.dir/query.cc.o.d"
+  "CMakeFiles/saga_graph.dir/sampler.cc.o"
+  "CMakeFiles/saga_graph.dir/sampler.cc.o.d"
+  "CMakeFiles/saga_graph.dir/traversal.cc.o"
+  "CMakeFiles/saga_graph.dir/traversal.cc.o.d"
+  "CMakeFiles/saga_graph.dir/view.cc.o"
+  "CMakeFiles/saga_graph.dir/view.cc.o.d"
+  "libsaga_graph.a"
+  "libsaga_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saga_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

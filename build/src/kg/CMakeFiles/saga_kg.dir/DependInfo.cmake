@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kg/entity_catalog.cc" "src/kg/CMakeFiles/saga_kg.dir/entity_catalog.cc.o" "gcc" "src/kg/CMakeFiles/saga_kg.dir/entity_catalog.cc.o.d"
+  "/root/repo/src/kg/kg_generator.cc" "src/kg/CMakeFiles/saga_kg.dir/kg_generator.cc.o" "gcc" "src/kg/CMakeFiles/saga_kg.dir/kg_generator.cc.o.d"
+  "/root/repo/src/kg/knowledge_graph.cc" "src/kg/CMakeFiles/saga_kg.dir/knowledge_graph.cc.o" "gcc" "src/kg/CMakeFiles/saga_kg.dir/knowledge_graph.cc.o.d"
+  "/root/repo/src/kg/ontology.cc" "src/kg/CMakeFiles/saga_kg.dir/ontology.cc.o" "gcc" "src/kg/CMakeFiles/saga_kg.dir/ontology.cc.o.d"
+  "/root/repo/src/kg/triple_store.cc" "src/kg/CMakeFiles/saga_kg.dir/triple_store.cc.o" "gcc" "src/kg/CMakeFiles/saga_kg.dir/triple_store.cc.o.d"
+  "/root/repo/src/kg/value.cc" "src/kg/CMakeFiles/saga_kg.dir/value.cc.o" "gcc" "src/kg/CMakeFiles/saga_kg.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saga_kg.dir/entity_catalog.cc.o"
+  "CMakeFiles/saga_kg.dir/entity_catalog.cc.o.d"
+  "CMakeFiles/saga_kg.dir/kg_generator.cc.o"
+  "CMakeFiles/saga_kg.dir/kg_generator.cc.o.d"
+  "CMakeFiles/saga_kg.dir/knowledge_graph.cc.o"
+  "CMakeFiles/saga_kg.dir/knowledge_graph.cc.o.d"
+  "CMakeFiles/saga_kg.dir/ontology.cc.o"
+  "CMakeFiles/saga_kg.dir/ontology.cc.o.d"
+  "CMakeFiles/saga_kg.dir/triple_store.cc.o"
+  "CMakeFiles/saga_kg.dir/triple_store.cc.o.d"
+  "CMakeFiles/saga_kg.dir/value.cc.o"
+  "CMakeFiles/saga_kg.dir/value.cc.o.d"
+  "libsaga_kg.a"
+  "libsaga_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saga_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

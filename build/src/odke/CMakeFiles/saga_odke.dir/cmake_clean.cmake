@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saga_odke.dir/corroborator.cc.o"
+  "CMakeFiles/saga_odke.dir/corroborator.cc.o.d"
+  "CMakeFiles/saga_odke.dir/extractor.cc.o"
+  "CMakeFiles/saga_odke.dir/extractor.cc.o.d"
+  "CMakeFiles/saga_odke.dir/pipeline.cc.o"
+  "CMakeFiles/saga_odke.dir/pipeline.cc.o.d"
+  "CMakeFiles/saga_odke.dir/profiler.cc.o"
+  "CMakeFiles/saga_odke.dir/profiler.cc.o.d"
+  "CMakeFiles/saga_odke.dir/query_log.cc.o"
+  "CMakeFiles/saga_odke.dir/query_log.cc.o.d"
+  "CMakeFiles/saga_odke.dir/query_synthesizer.cc.o"
+  "CMakeFiles/saga_odke.dir/query_synthesizer.cc.o.d"
+  "libsaga_odke.a"
+  "libsaga_odke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saga_odke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ondevice/blocking.cc" "src/ondevice/CMakeFiles/saga_ondevice.dir/blocking.cc.o" "gcc" "src/ondevice/CMakeFiles/saga_ondevice.dir/blocking.cc.o.d"
+  "/root/repo/src/ondevice/device_data_generator.cc" "src/ondevice/CMakeFiles/saga_ondevice.dir/device_data_generator.cc.o" "gcc" "src/ondevice/CMakeFiles/saga_ondevice.dir/device_data_generator.cc.o.d"
+  "/root/repo/src/ondevice/enrichment.cc" "src/ondevice/CMakeFiles/saga_ondevice.dir/enrichment.cc.o" "gcc" "src/ondevice/CMakeFiles/saga_ondevice.dir/enrichment.cc.o.d"
+  "/root/repo/src/ondevice/fusion.cc" "src/ondevice/CMakeFiles/saga_ondevice.dir/fusion.cc.o" "gcc" "src/ondevice/CMakeFiles/saga_ondevice.dir/fusion.cc.o.d"
+  "/root/repo/src/ondevice/incremental_pipeline.cc" "src/ondevice/CMakeFiles/saga_ondevice.dir/incremental_pipeline.cc.o" "gcc" "src/ondevice/CMakeFiles/saga_ondevice.dir/incremental_pipeline.cc.o.d"
+  "/root/repo/src/ondevice/matcher.cc" "src/ondevice/CMakeFiles/saga_ondevice.dir/matcher.cc.o" "gcc" "src/ondevice/CMakeFiles/saga_ondevice.dir/matcher.cc.o.d"
+  "/root/repo/src/ondevice/personal_kg.cc" "src/ondevice/CMakeFiles/saga_ondevice.dir/personal_kg.cc.o" "gcc" "src/ondevice/CMakeFiles/saga_ondevice.dir/personal_kg.cc.o.d"
+  "/root/repo/src/ondevice/source_record.cc" "src/ondevice/CMakeFiles/saga_ondevice.dir/source_record.cc.o" "gcc" "src/ondevice/CMakeFiles/saga_ondevice.dir/source_record.cc.o.d"
+  "/root/repo/src/ondevice/sync.cc" "src/ondevice/CMakeFiles/saga_ondevice.dir/sync.cc.o" "gcc" "src/ondevice/CMakeFiles/saga_ondevice.dir/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/saga_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/saga_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/saga_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/saga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saga_ondevice.dir/blocking.cc.o"
+  "CMakeFiles/saga_ondevice.dir/blocking.cc.o.d"
+  "CMakeFiles/saga_ondevice.dir/device_data_generator.cc.o"
+  "CMakeFiles/saga_ondevice.dir/device_data_generator.cc.o.d"
+  "CMakeFiles/saga_ondevice.dir/enrichment.cc.o"
+  "CMakeFiles/saga_ondevice.dir/enrichment.cc.o.d"
+  "CMakeFiles/saga_ondevice.dir/fusion.cc.o"
+  "CMakeFiles/saga_ondevice.dir/fusion.cc.o.d"
+  "CMakeFiles/saga_ondevice.dir/incremental_pipeline.cc.o"
+  "CMakeFiles/saga_ondevice.dir/incremental_pipeline.cc.o.d"
+  "CMakeFiles/saga_ondevice.dir/matcher.cc.o"
+  "CMakeFiles/saga_ondevice.dir/matcher.cc.o.d"
+  "CMakeFiles/saga_ondevice.dir/personal_kg.cc.o"
+  "CMakeFiles/saga_ondevice.dir/personal_kg.cc.o.d"
+  "CMakeFiles/saga_ondevice.dir/source_record.cc.o"
+  "CMakeFiles/saga_ondevice.dir/source_record.cc.o.d"
+  "CMakeFiles/saga_ondevice.dir/sync.cc.o"
+  "CMakeFiles/saga_ondevice.dir/sync.cc.o.d"
+  "libsaga_ondevice.a"
+  "libsaga_ondevice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saga_ondevice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

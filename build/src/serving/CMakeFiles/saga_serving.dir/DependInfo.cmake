@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serving/embedding_service.cc" "src/serving/CMakeFiles/saga_serving.dir/embedding_service.cc.o" "gcc" "src/serving/CMakeFiles/saga_serving.dir/embedding_service.cc.o.d"
+  "/root/repo/src/serving/fact_ranker.cc" "src/serving/CMakeFiles/saga_serving.dir/fact_ranker.cc.o" "gcc" "src/serving/CMakeFiles/saga_serving.dir/fact_ranker.cc.o.d"
+  "/root/repo/src/serving/fact_verifier.cc" "src/serving/CMakeFiles/saga_serving.dir/fact_verifier.cc.o" "gcc" "src/serving/CMakeFiles/saga_serving.dir/fact_verifier.cc.o.d"
+  "/root/repo/src/serving/kv_cache.cc" "src/serving/CMakeFiles/saga_serving.dir/kv_cache.cc.o" "gcc" "src/serving/CMakeFiles/saga_serving.dir/kv_cache.cc.o.d"
+  "/root/repo/src/serving/lru_cache.cc" "src/serving/CMakeFiles/saga_serving.dir/lru_cache.cc.o" "gcc" "src/serving/CMakeFiles/saga_serving.dir/lru_cache.cc.o.d"
+  "/root/repo/src/serving/related_entities.cc" "src/serving/CMakeFiles/saga_serving.dir/related_entities.cc.o" "gcc" "src/serving/CMakeFiles/saga_serving.dir/related_entities.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ann/CMakeFiles/saga_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/saga_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph_engine/CMakeFiles/saga_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/saga_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/saga_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/saga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

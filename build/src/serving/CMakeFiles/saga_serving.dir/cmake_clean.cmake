@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saga_serving.dir/embedding_service.cc.o"
+  "CMakeFiles/saga_serving.dir/embedding_service.cc.o.d"
+  "CMakeFiles/saga_serving.dir/fact_ranker.cc.o"
+  "CMakeFiles/saga_serving.dir/fact_ranker.cc.o.d"
+  "CMakeFiles/saga_serving.dir/fact_verifier.cc.o"
+  "CMakeFiles/saga_serving.dir/fact_verifier.cc.o.d"
+  "CMakeFiles/saga_serving.dir/kv_cache.cc.o"
+  "CMakeFiles/saga_serving.dir/kv_cache.cc.o.d"
+  "CMakeFiles/saga_serving.dir/lru_cache.cc.o"
+  "CMakeFiles/saga_serving.dir/lru_cache.cc.o.d"
+  "CMakeFiles/saga_serving.dir/related_entities.cc.o"
+  "CMakeFiles/saga_serving.dir/related_entities.cc.o.d"
+  "libsaga_serving.a"
+  "libsaga_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saga_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bloom.cc" "src/storage/CMakeFiles/saga_storage.dir/bloom.cc.o" "gcc" "src/storage/CMakeFiles/saga_storage.dir/bloom.cc.o.d"
+  "/root/repo/src/storage/external_sorter.cc" "src/storage/CMakeFiles/saga_storage.dir/external_sorter.cc.o" "gcc" "src/storage/CMakeFiles/saga_storage.dir/external_sorter.cc.o.d"
+  "/root/repo/src/storage/kv_store.cc" "src/storage/CMakeFiles/saga_storage.dir/kv_store.cc.o" "gcc" "src/storage/CMakeFiles/saga_storage.dir/kv_store.cc.o.d"
+  "/root/repo/src/storage/memtable.cc" "src/storage/CMakeFiles/saga_storage.dir/memtable.cc.o" "gcc" "src/storage/CMakeFiles/saga_storage.dir/memtable.cc.o.d"
+  "/root/repo/src/storage/sstable.cc" "src/storage/CMakeFiles/saga_storage.dir/sstable.cc.o" "gcc" "src/storage/CMakeFiles/saga_storage.dir/sstable.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/saga_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/saga_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saga_storage.dir/bloom.cc.o"
+  "CMakeFiles/saga_storage.dir/bloom.cc.o.d"
+  "CMakeFiles/saga_storage.dir/external_sorter.cc.o"
+  "CMakeFiles/saga_storage.dir/external_sorter.cc.o.d"
+  "CMakeFiles/saga_storage.dir/kv_store.cc.o"
+  "CMakeFiles/saga_storage.dir/kv_store.cc.o.d"
+  "CMakeFiles/saga_storage.dir/memtable.cc.o"
+  "CMakeFiles/saga_storage.dir/memtable.cc.o.d"
+  "CMakeFiles/saga_storage.dir/sstable.cc.o"
+  "CMakeFiles/saga_storage.dir/sstable.cc.o.d"
+  "CMakeFiles/saga_storage.dir/wal.cc.o"
+  "CMakeFiles/saga_storage.dir/wal.cc.o.d"
+  "libsaga_storage.a"
+  "libsaga_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saga_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

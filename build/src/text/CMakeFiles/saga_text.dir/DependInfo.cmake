@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/aho_corasick.cc" "src/text/CMakeFiles/saga_text.dir/aho_corasick.cc.o" "gcc" "src/text/CMakeFiles/saga_text.dir/aho_corasick.cc.o.d"
+  "/root/repo/src/text/hashing_vectorizer.cc" "src/text/CMakeFiles/saga_text.dir/hashing_vectorizer.cc.o" "gcc" "src/text/CMakeFiles/saga_text.dir/hashing_vectorizer.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/text/CMakeFiles/saga_text.dir/similarity.cc.o" "gcc" "src/text/CMakeFiles/saga_text.dir/similarity.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/saga_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/saga_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

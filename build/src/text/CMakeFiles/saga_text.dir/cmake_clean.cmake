@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saga_text.dir/aho_corasick.cc.o"
+  "CMakeFiles/saga_text.dir/aho_corasick.cc.o.d"
+  "CMakeFiles/saga_text.dir/hashing_vectorizer.cc.o"
+  "CMakeFiles/saga_text.dir/hashing_vectorizer.cc.o.d"
+  "CMakeFiles/saga_text.dir/similarity.cc.o"
+  "CMakeFiles/saga_text.dir/similarity.cc.o.d"
+  "CMakeFiles/saga_text.dir/tokenizer.cc.o"
+  "CMakeFiles/saga_text.dir/tokenizer.cc.o.d"
+  "libsaga_text.a"
+  "libsaga_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saga_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/websim/corpus_generator.cc" "src/websim/CMakeFiles/saga_websim.dir/corpus_generator.cc.o" "gcc" "src/websim/CMakeFiles/saga_websim.dir/corpus_generator.cc.o.d"
+  "/root/repo/src/websim/search_engine.cc" "src/websim/CMakeFiles/saga_websim.dir/search_engine.cc.o" "gcc" "src/websim/CMakeFiles/saga_websim.dir/search_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kg/CMakeFiles/saga_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/saga_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/saga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saga_websim.dir/corpus_generator.cc.o"
+  "CMakeFiles/saga_websim.dir/corpus_generator.cc.o.d"
+  "CMakeFiles/saga_websim.dir/search_engine.cc.o"
+  "CMakeFiles/saga_websim.dir/search_engine.cc.o.d"
+  "libsaga_websim.a"
+  "libsaga_websim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saga_websim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

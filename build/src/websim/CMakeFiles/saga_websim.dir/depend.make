@@ -1,0 +1,2 @@
+# Empty dependencies file for saga_websim.
+# This may be replaced when dependencies are built.

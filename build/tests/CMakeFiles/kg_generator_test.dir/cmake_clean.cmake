@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_generator_test.dir/kg_generator_test.cc.o"
+  "CMakeFiles/kg_generator_test.dir/kg_generator_test.cc.o.d"
+  "kg_generator_test"
+  "kg_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

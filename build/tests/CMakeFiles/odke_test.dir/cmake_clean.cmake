@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odke_test.dir/odke_test.cc.o"
+  "CMakeFiles/odke_test.dir/odke_test.cc.o.d"
+  "odke_test"
+  "odke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ondevice_pipeline_test.dir/ondevice_pipeline_test.cc.o"
+  "CMakeFiles/ondevice_pipeline_test.dir/ondevice_pipeline_test.cc.o.d"
+  "ondevice_pipeline_test"
+  "ondevice_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ondevice_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ondevice_test.dir/ondevice_test.cc.o"
+  "CMakeFiles/ondevice_test.dir/ondevice_test.cc.o.d"
+  "ondevice_test"
+  "ondevice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ondevice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

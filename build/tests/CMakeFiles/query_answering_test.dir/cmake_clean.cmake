@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_answering_test.dir/query_answering_test.cc.o"
+  "CMakeFiles/query_answering_test.dir/query_answering_test.cc.o.d"
+  "query_answering_test"
+  "query_answering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_answering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saga_cli.dir/saga_cli.cc.o"
+  "CMakeFiles/saga_cli.dir/saga_cli.cc.o.d"
+  "saga_cli"
+  "saga_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saga_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
