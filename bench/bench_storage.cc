@@ -35,6 +35,25 @@ void BM_KvPut(benchmark::State& state) {
 }
 BENCHMARK(BM_KvPut)->Arg(0)->Arg(1);
 
+void BM_KvPutDurable(benchmark::State& state) {
+  // The fsync-per-write path: an OK Put is durable. Orders of magnitude
+  // slower than buffered WAL appends — this is the price of the crash
+  // contract documented in DESIGN.md ("Durability & failure model").
+  auto dir = MakeTempDir("bench_kv_put_sync");
+  KvStore::Options opts;
+  opts.sync_every_write = true;
+  auto store = KvStore::Open(*dir, opts);
+  uint64_t i = 0;
+  const std::string value(100, 'v');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.value()->Put(KeyOf(i++), value));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("fsync-every-write");
+  (void)RemoveDirRecursively(*dir);
+}
+BENCHMARK(BM_KvPutDurable);
+
 void BM_KvGetHit(benchmark::State& state) {
   auto dir = MakeTempDir("bench_kv_get");
   auto store = KvStore::Open(*dir);

@@ -258,16 +258,14 @@ bench/CMakeFiles/bench_fig1_platform.dir/bench_fig1_platform.cc.o: \
  /usr/include/c++/12/cstddef /root/repo/src/graph_engine/view.h \
  /root/repo/src/serving/lru_cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/storage/kv_store.h /root/repo/src/storage/memtable.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/sstable.h \
+ /root/repo/src/storage/kv_store.h /root/repo/src/common/metrics.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/retry.h \
+ /root/repo/src/storage/memtable.h /root/repo/src/storage/sstable.h \
  /root/repo/src/storage/bloom.h /root/repo/src/storage/wal.h \
- /usr/include/c++/12/fstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/text/hashing_vectorizer.h \
  /root/repo/src/annotation/mention_detector.h \
  /root/repo/src/text/aho_corasick.h \
@@ -283,12 +281,10 @@ bench/CMakeFiles/bench_fig1_platform.dir/bench_fig1_platform.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/thread /root/repo/src/websim/corpus_generator.h \
  /root/repo/src/kg/kg_generator.h /root/repo/bench/bench_util.h \
- /root/repo/src/common/file_util.h /root/repo/src/common/metrics.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/embedding/evaluator.h /root/repo/src/odke/corroborator.h \
- /root/repo/src/odke/extractor.h /root/repo/src/odke/fact_gap.h \
- /root/repo/src/odke/pipeline.h /root/repo/src/odke/query_synthesizer.h \
+ /root/repo/src/common/file_util.h /root/repo/src/embedding/evaluator.h \
+ /root/repo/src/odke/corroborator.h /root/repo/src/odke/extractor.h \
+ /root/repo/src/odke/fact_gap.h /root/repo/src/odke/pipeline.h \
+ /root/repo/src/odke/query_synthesizer.h \
  /root/repo/src/websim/search_engine.h /root/repo/src/odke/profiler.h \
  /root/repo/src/serving/embedding_service.h /root/repo/src/ann/index.h \
  /root/repo/src/ann/distance.h /root/repo/src/serving/related_entities.h \

@@ -245,5 +245,14 @@ bench/CMakeFiles/bench_storage.dir/bench_storage.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/storage/kv_store.h /root/repo/src/storage/memtable.h \
- /root/repo/src/storage/sstable.h /root/repo/src/storage/wal.h
+ /root/repo/src/storage/kv_store.h /root/repo/src/common/metrics.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/retry.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/storage/memtable.h /root/repo/src/storage/sstable.h \
+ /root/repo/src/storage/wal.h

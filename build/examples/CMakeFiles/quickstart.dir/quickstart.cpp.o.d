@@ -251,7 +251,15 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/kg/triple.h /root/repo/src/embedding/evaluator.h \
  /root/repo/src/kg/kg_generator.h \
  /root/repo/src/serving/embedding_service.h /root/repo/src/ann/index.h \
- /root/repo/src/ann/distance.h /root/repo/src/serving/fact_ranker.h \
+ /root/repo/src/ann/distance.h /root/repo/src/common/metrics.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/retry.h \
+ /root/repo/src/serving/fact_ranker.h \
  /root/repo/src/serving/fact_verifier.h \
  /root/repo/src/serving/related_entities.h \
  /root/repo/src/graph_engine/ppr.h

@@ -8,9 +8,11 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/fault_injection.cc" "src/common/CMakeFiles/saga_common.dir/fault_injection.cc.o" "gcc" "src/common/CMakeFiles/saga_common.dir/fault_injection.cc.o.d"
   "/root/repo/src/common/file_util.cc" "src/common/CMakeFiles/saga_common.dir/file_util.cc.o" "gcc" "src/common/CMakeFiles/saga_common.dir/file_util.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/saga_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/saga_common.dir/logging.cc.o.d"
   "/root/repo/src/common/metrics.cc" "src/common/CMakeFiles/saga_common.dir/metrics.cc.o" "gcc" "src/common/CMakeFiles/saga_common.dir/metrics.cc.o.d"
+  "/root/repo/src/common/retry.cc" "src/common/CMakeFiles/saga_common.dir/retry.cc.o" "gcc" "src/common/CMakeFiles/saga_common.dir/retry.cc.o.d"
   "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/saga_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/saga_common.dir/rng.cc.o.d"
   "/root/repo/src/common/serialization.cc" "src/common/CMakeFiles/saga_common.dir/serialization.cc.o" "gcc" "src/common/CMakeFiles/saga_common.dir/serialization.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/saga_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/saga_common.dir/status.cc.o.d"

@@ -1,10 +1,14 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/saga_common.dir/fault_injection.cc.o"
+  "CMakeFiles/saga_common.dir/fault_injection.cc.o.d"
   "CMakeFiles/saga_common.dir/file_util.cc.o"
   "CMakeFiles/saga_common.dir/file_util.cc.o.d"
   "CMakeFiles/saga_common.dir/logging.cc.o"
   "CMakeFiles/saga_common.dir/logging.cc.o.d"
   "CMakeFiles/saga_common.dir/metrics.cc.o"
   "CMakeFiles/saga_common.dir/metrics.cc.o.d"
+  "CMakeFiles/saga_common.dir/retry.cc.o"
+  "CMakeFiles/saga_common.dir/retry.cc.o.d"
   "CMakeFiles/saga_common.dir/rng.cc.o"
   "CMakeFiles/saga_common.dir/rng.cc.o.d"
   "CMakeFiles/saga_common.dir/serialization.cc.o"

@@ -221,18 +221,33 @@ src/serving/CMakeFiles/saga_serving.dir/embedding_service.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstddef \
- /root/repo/src/common/result.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/optional \
+ /root/repo/src/common/metrics.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/result.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/common/status.h \
- /root/repo/src/embedding/embedding_store.h \
+ /root/repo/src/common/status.h /root/repo/src/common/retry.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/embedding/trainer.h \
- /root/repo/src/common/rng.h /root/repo/src/embedding/embedding_table.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/common/rng.h \
+ /root/repo/src/embedding/embedding_store.h \
+ /root/repo/src/embedding/trainer.h \
+ /root/repo/src/embedding/embedding_table.h \
  /root/repo/src/embedding/model.h \
  /root/repo/src/embedding/negative_sampler.h \
  /usr/include/c++/12/unordered_set \
@@ -240,13 +255,11 @@ src/serving/CMakeFiles/saga_serving.dir/embedding_service.cc.o: \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/graph_engine/view.h /root/repo/src/kg/knowledge_graph.h \
  /root/repo/src/kg/entity_catalog.h /root/repo/src/common/serialization.h \
- /root/repo/src/kg/ids.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/kg/ontology.h \
+ /root/repo/src/kg/ids.h /root/repo/src/kg/ontology.h \
  /root/repo/src/kg/value.h /root/repo/src/kg/triple_store.h \
  /root/repo/src/kg/triple.h /root/repo/src/ann/brute_force_index.h \
  /root/repo/src/ann/ivf_index.h /root/repo/src/ann/quantized_index.h \
- /root/repo/src/ann/quantization.h
+ /root/repo/src/ann/quantization.h \
+ /root/repo/src/common/fault_injection.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/logging.h /usr/include/c++/12/iostream

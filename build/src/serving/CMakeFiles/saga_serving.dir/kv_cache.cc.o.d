@@ -254,12 +254,11 @@ src/serving/CMakeFiles/saga_serving.dir/kv_cache.cc.o: \
  /root/repo/src/kg/triple.h /root/repo/src/serving/lru_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/storage/kv_store.h \
- /root/repo/src/storage/memtable.h /usr/include/c++/12/map \
+ /root/repo/src/common/metrics.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/sstable.h \
- /root/repo/src/storage/bloom.h /root/repo/src/storage/wal.h \
- /usr/include/c++/12/fstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/retry.h \
+ /root/repo/src/storage/memtable.h /root/repo/src/storage/sstable.h \
+ /root/repo/src/storage/bloom.h /root/repo/src/storage/wal.h

@@ -241,8 +241,16 @@ src/serving/CMakeFiles/saga_serving.dir/related_entities.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstddef \
- /root/repo/src/embedding/embedding_store.h \
- /root/repo/src/embedding/trainer.h /root/repo/src/common/rng.h \
+ /root/repo/src/common/metrics.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/retry.h \
+ /root/repo/src/common/rng.h /root/repo/src/embedding/embedding_store.h \
+ /root/repo/src/embedding/trainer.h \
  /root/repo/src/embedding/embedding_table.h \
  /root/repo/src/embedding/model.h \
  /root/repo/src/embedding/negative_sampler.h \

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chaos_test.cc" "tests/CMakeFiles/chaos_test.dir/chaos_test.cc.o" "gcc" "tests/CMakeFiles/chaos_test.dir/chaos_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ondevice/CMakeFiles/saga_ondevice.dir/DependInfo.cmake"
+  "/root/repo/build/src/odke/CMakeFiles/saga_odke.dir/DependInfo.cmake"
+  "/root/repo/build/src/annotation/CMakeFiles/saga_annotation.dir/DependInfo.cmake"
+  "/root/repo/build/src/websim/CMakeFiles/saga_websim.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/saga_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/saga_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/saga_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph_engine/CMakeFiles/saga_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/saga_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/saga_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/saga_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/saga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

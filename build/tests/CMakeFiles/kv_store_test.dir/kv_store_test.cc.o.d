@@ -293,8 +293,9 @@ tests/CMakeFiles/kv_store_test.dir/kv_store_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/common/file_util.h /root/repo/src/common/result.h \
- /root/repo/src/common/status.h /root/repo/src/common/rng.h \
+ /root/repo/src/common/fault_injection.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -316,10 +317,10 @@ tests/CMakeFiles/kv_store_test.dir/kv_store_test.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/storage/kv_store.h /root/repo/src/storage/memtable.h \
- /root/repo/src/storage/sstable.h /root/repo/src/storage/bloom.h \
- /root/repo/src/storage/wal.h /usr/include/c++/12/fstream \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/status.h \
+ /root/repo/src/common/file_util.h /root/repo/src/common/result.h \
+ /root/repo/src/common/serialization.h /usr/include/c++/12/cstring \
+ /root/repo/src/storage/kv_store.h /root/repo/src/common/metrics.h \
+ /usr/include/c++/12/chrono /root/repo/src/common/retry.h \
+ /root/repo/src/storage/memtable.h /root/repo/src/storage/sstable.h \
+ /root/repo/src/storage/bloom.h /root/repo/src/storage/wal.h

@@ -323,9 +323,8 @@ tests/CMakeFiles/ondevice_pipeline_test.dir/ondevice_pipeline_test.cc.o: \
  /root/repo/src/ondevice/incremental_pipeline.h \
  /root/repo/src/ondevice/fusion.h /root/repo/src/ondevice/matcher.h \
  /root/repo/src/ondevice/blocking.h /root/repo/src/storage/kv_store.h \
- /root/repo/src/storage/memtable.h /root/repo/src/storage/sstable.h \
- /root/repo/src/storage/bloom.h /root/repo/src/storage/wal.h \
- /usr/include/c++/12/fstream \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc
+ /root/repo/src/common/metrics.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/common/retry.h /root/repo/src/storage/memtable.h \
+ /root/repo/src/storage/sstable.h /root/repo/src/storage/bloom.h \
+ /root/repo/src/storage/wal.h

@@ -327,7 +327,9 @@ tests/CMakeFiles/properties_test.dir/properties_test.cc.o: \
  /root/repo/src/kg/kg_generator.h /root/repo/src/odke/query_log.h \
  /root/repo/src/odke/fact_gap.h /root/repo/src/ondevice/enrichment.h \
  /root/repo/src/serving/embedding_service.h \
- /root/repo/src/embedding/embedding_store.h \
+ /root/repo/src/common/metrics.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/common/retry.h /root/repo/src/embedding/embedding_store.h \
  /root/repo/src/embedding/trainer.h \
  /root/repo/src/embedding/embedding_table.h \
  /root/repo/src/embedding/model.h \
@@ -336,7 +338,4 @@ tests/CMakeFiles/properties_test.dir/properties_test.cc.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/hash.h \
  /root/repo/src/storage/kv_store.h /root/repo/src/storage/memtable.h \
  /root/repo/src/storage/sstable.h /root/repo/src/storage/bloom.h \
- /root/repo/src/storage/wal.h /usr/include/c++/12/fstream \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/text/aho_corasick.h
+ /root/repo/src/storage/wal.h /root/repo/src/text/aho_corasick.h

@@ -338,13 +338,10 @@ tests/CMakeFiles/query_answering_test.dir/query_answering_test.cc.o: \
  /root/repo/src/graph_engine/view.h /root/repo/src/serving/lru_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/storage/kv_store.h \
- /root/repo/src/storage/memtable.h /root/repo/src/storage/sstable.h \
- /root/repo/src/storage/bloom.h /root/repo/src/storage/wal.h \
- /usr/include/c++/12/fstream \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc \
- /root/repo/src/text/hashing_vectorizer.h \
+ /root/repo/src/common/metrics.h /usr/include/c++/12/chrono \
+ /root/repo/src/common/retry.h /root/repo/src/storage/memtable.h \
+ /root/repo/src/storage/sstable.h /root/repo/src/storage/bloom.h \
+ /root/repo/src/storage/wal.h /root/repo/src/text/hashing_vectorizer.h \
  /root/repo/src/annotation/mention_detector.h \
  /root/repo/src/text/aho_corasick.h /root/repo/src/serving/fact_ranker.h \
  /root/repo/src/common/string_util.h /root/repo/src/kg/kg_generator.h

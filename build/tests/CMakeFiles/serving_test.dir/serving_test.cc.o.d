@@ -329,18 +329,16 @@ tests/CMakeFiles/serving_test.dir/serving_test.cc.o: \
  /root/repo/src/kg/triple_store.h /root/repo/src/kg/triple.h \
  /root/repo/src/graph_engine/traversal.h /root/repo/src/kg/kg_generator.h \
  /root/repo/src/serving/embedding_service.h /root/repo/src/ann/index.h \
- /root/repo/src/ann/distance.h /root/repo/src/embedding/embedding_store.h \
+ /root/repo/src/ann/distance.h /root/repo/src/common/metrics.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/common/retry.h \
+ /root/repo/src/embedding/embedding_store.h \
  /root/repo/src/serving/fact_ranker.h \
  /root/repo/src/serving/fact_verifier.h /root/repo/src/serving/kv_cache.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/serving/lru_cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/storage/kv_store.h /root/repo/src/storage/memtable.h \
  /root/repo/src/storage/sstable.h /root/repo/src/storage/bloom.h \
- /root/repo/src/storage/wal.h /usr/include/c++/12/fstream \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc \
- /root/repo/src/serving/related_entities.h \
+ /root/repo/src/storage/wal.h /root/repo/src/serving/related_entities.h \
  /root/repo/src/graph_engine/ppr.h

@@ -318,7 +318,4 @@ tests/CMakeFiles/storage_test.dir/storage_test.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/storage/bloom.h \
  /root/repo/src/storage/memtable.h /root/repo/src/storage/sstable.h \
- /root/repo/src/storage/wal.h /usr/include/c++/12/fstream \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc
+ /root/repo/src/storage/wal.h

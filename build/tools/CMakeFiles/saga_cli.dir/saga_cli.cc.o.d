@@ -257,16 +257,14 @@ tools/CMakeFiles/saga_cli.dir/saga_cli.cc.o: /root/repo/tools/saga_cli.cc \
  /usr/include/c++/12/cstddef /root/repo/src/graph_engine/view.h \
  /root/repo/src/serving/lru_cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/storage/kv_store.h /root/repo/src/storage/memtable.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/sstable.h \
+ /root/repo/src/storage/kv_store.h /root/repo/src/common/metrics.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/retry.h \
+ /root/repo/src/storage/memtable.h /root/repo/src/storage/sstable.h \
  /root/repo/src/storage/bloom.h /root/repo/src/storage/wal.h \
- /usr/include/c++/12/fstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/text/hashing_vectorizer.h \
  /root/repo/src/annotation/mention_detector.h \
  /root/repo/src/text/aho_corasick.h \

@@ -1,0 +1,116 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+
+namespace saga {
+
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.Seed(seed);
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = points_.insert_or_assign(point, Armed{spec, 0});
+  (void)it;
+  if (inserted) armed_points_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_points_.fetch_sub(static_cast<int>(points_.size()),
+                          std::memory_order_relaxed);
+  points_.clear();
+}
+
+uint64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(point);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+uint64_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fires_.find(point);
+  return it == fires_.end() ? 0 : it->second;
+}
+
+std::optional<FaultSpec> FaultInjector::Check(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++hits_[point];
+  auto it = points_.find(point);
+  if (it == points_.end()) return std::nullopt;
+  Armed& armed = it->second;
+  if (armed.spec.probability < 1.0 && !rng_.Bernoulli(armed.spec.probability)) {
+    return std::nullopt;
+  }
+  ++armed.eligible_hits;
+  const int nth = armed.spec.fail_nth;
+  const bool fires =
+      nth == 0 || (armed.spec.repeat
+                       ? armed.eligible_hits >= static_cast<uint64_t>(nth)
+                       : armed.eligible_hits == static_cast<uint64_t>(nth));
+  if (!fires) return std::nullopt;
+  FaultSpec spec = armed.spec;
+  ++fires_[point];
+  if (!spec.repeat) {
+    points_.erase(it);
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return spec;
+}
+
+Status FaultInjector::InjectOp(const std::string& point) {
+  if (auto spec = Check(point)) {
+    return Status::IOError("injected fault at " + point);
+  }
+  return Status::OK();
+}
+
+WriteFault FaultInjector::InjectWrite(const std::string& point,
+                                      std::string* payload) {
+  auto spec = Check(point);
+  if (!spec) return WriteFault{};
+  WriteFault out;
+  switch (spec->kind) {
+    case FaultKind::kFail:
+      out.fail = true;
+      out.write_payload = false;
+      break;
+    case FaultKind::kTornWrite: {
+      const double keep = std::clamp(spec->keep_fraction, 0.0, 1.0);
+      const size_t n =
+          static_cast<size_t>(keep * static_cast<double>(payload->size()));
+      payload->resize(std::min(n, payload->size()));
+      out.fail = true;
+      out.write_payload = true;
+      break;
+    }
+    case FaultKind::kBitFlip: {
+      if (!payload->empty()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        const size_t pos = rng_.Uniform(payload->size());
+        (*payload)[pos] =
+            static_cast<char>((*payload)[pos] ^ (1 << rng_.Uniform(8)));
+      }
+      out.fail = false;
+      out.write_payload = true;
+      break;
+    }
+  }
+  return out;
+}
+
+FaultInjector& Faults() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+}  // namespace saga

@@ -1,0 +1,148 @@
+#ifndef SAGA_COMMON_FAULT_INJECTION_H_
+#define SAGA_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace saga {
+
+/// What happens when an armed fault point fires.
+enum class FaultKind {
+  /// The guarded operation fails with an injected IOError before doing
+  /// any work (e.g. a rename or fsync that never happens).
+  kFail,
+  /// The payload is truncated to a prefix, the truncated bytes still
+  /// reach disk, and the operation then reports failure — models a
+  /// crash/power-cut mid-write.
+  kTornWrite,
+  /// One payload bit is flipped and the operation "succeeds" — models
+  /// silent media corruption discovered only at read time.
+  kBitFlip,
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kFail;
+  /// Fire on the nth eligible hit, 1-based. 0 = every eligible hit.
+  int fail_nth = 1;
+  /// Per-hit probability of being eligible (drawn from the injector's
+  /// seeded Rng, so runs are reproducible).
+  double probability = 1.0;
+  /// kTornWrite: fraction of the payload that survives, in [0, 1).
+  double keep_fraction = 0.5;
+  /// When false (default) the spec disarms itself after firing once;
+  /// when true it keeps firing on every eligible hit >= fail_nth.
+  bool repeat = false;
+};
+
+/// Outcome of a fault check at a write-shaped fault point.
+struct WriteFault {
+  /// Caller must report an injected error after honoring the payload.
+  bool fail = false;
+  /// Caller should still write the (possibly mutated) payload — true
+  /// for torn writes and bit flips, false for plain failures.
+  bool write_payload = true;
+};
+
+/// Deterministic, seeded fault injector with named fault points.
+///
+/// Production code guards IO edges with `Faults().armed()` (a relaxed
+/// atomic load — effectively free when nothing is armed) and then asks
+/// the injector whether the named point fires. Tests arm points with
+/// `Arm`/`ScopedFault` and drive crash/corruption scenarios without
+/// touching real hardware.
+///
+/// Fault point names used by the platform are documented in DESIGN.md
+/// ("Durability & failure model"): file.write, file.rename, file.read,
+/// file.remove, wal.open, wal.append, wal.sync, sst.build, sst.open,
+/// serving.index_build.
+///
+/// Thread-safe; all state sits behind one mutex (fault paths are not
+/// hot paths once armed).
+class FaultInjector {
+ public:
+  FaultInjector() : rng_(0xFA17) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Reseeds the eligibility Rng (probability draws and torn/bit-flip
+  /// positions), making randomized chaos runs reproducible.
+  void Seed(uint64_t seed);
+
+  void Arm(const std::string& point, FaultSpec spec);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// Cheap global check: true when at least one point is armed.
+  bool armed() const {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Pure-failure fault points (rename, fsync, remove, open...).
+  /// Returns the injected error when the point fires, OK otherwise.
+  /// Torn-write/bit-flip specs on such points degrade to kFail.
+  Status InjectOp(const std::string& point);
+
+  /// Write-shaped fault points. May truncate (torn write) or bit-flip
+  /// `payload` in place; see WriteFault for what the caller must do.
+  WriteFault InjectWrite(const std::string& point, std::string* payload);
+
+  /// Times the point was consulted / times it fired (for assertions).
+  uint64_t hits(const std::string& point) const;
+  uint64_t fires(const std::string& point) const;
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    uint64_t eligible_hits = 0;
+  };
+
+  /// Returns the spec if the point fires on this hit (and handles
+  /// one-shot disarm); nullopt otherwise.
+  std::optional<FaultSpec> Check(const std::string& point);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Armed> points_;
+  std::map<std::string, uint64_t> hits_;
+  std::map<std::string, uint64_t> fires_;
+  std::atomic<int> armed_points_{0};
+  Rng rng_;
+};
+
+/// Process-wide injector instance shared by all guarded IO edges.
+FaultInjector& Faults();
+
+/// RAII arm/disarm of one fault point.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, FaultSpec spec) : point_(std::move(point)) {
+    Faults().Arm(point_, spec);
+  }
+  ~ScopedFault() { Faults().Disarm(point_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string point_;
+};
+
+}  // namespace saga
+
+/// The subsystem is usually referred to as saga::common::FaultInjector
+/// in design docs; keep that spelling valid.
+namespace saga::common {
+using ::saga::FaultInjector;
+using ::saga::FaultKind;
+using ::saga::FaultSpec;
+using ::saga::ScopedFault;
+}  // namespace saga::common
+
+#endif  // SAGA_COMMON_FAULT_INJECTION_H_

@@ -1,5 +1,6 @@
 #include "common/file_util.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -10,11 +11,36 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/fault_injection.h"
+
 namespace saga {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+Status FsyncPath(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) {
+    return Status::IOError("open for fsync " + path + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync " + path + ": " +
+                           std::strerror(saved_errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::string> ReadFileToString(const std::string& path) {
+  if (Faults().armed()) {
+    SAGA_RETURN_IF_ERROR(Faults().InjectOp("file.read"));
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IOError("cannot open for read: " + path);
@@ -30,13 +56,35 @@ Result<std::string> ReadFileToString(const std::string& path) {
   return data;
 }
 
-Status WriteStringToFile(const std::string& path, std::string_view data) {
+Status WriteStringToFile(const std::string& path, std::string_view data,
+                         bool durable) {
   const std::string tmp = path + ".tmp";
+  std::string_view payload = data;
+  std::string mutated;
+  bool fail_after_write = false;
+  if (Faults().armed()) {
+    mutated.assign(data);
+    const WriteFault f = Faults().InjectWrite("file.write", &mutated);
+    if (f.fail && !f.write_payload) {
+      return Status::IOError("injected write failure: " + tmp);
+    }
+    payload = mutated;
+    fail_after_write = f.fail;
+  }
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IOError("cannot open for write: " + tmp);
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
     if (!out) return Status::IOError("short write: " + tmp);
+  }
+  if (fail_after_write) {
+    // Torn write: the prefix reached the temp file, as after a real
+    // crash; the rename never happens so `path` is untouched.
+    return Status::IOError("injected torn write: " + tmp);
+  }
+  if (durable) SAGA_RETURN_IF_ERROR(SyncFile(tmp));
+  if (Faults().armed()) {
+    SAGA_RETURN_IF_ERROR(Faults().InjectOp("file.rename"));
   }
   std::error_code ec;
   fs::rename(tmp, path, ec);
@@ -44,7 +92,19 @@ Status WriteStringToFile(const std::string& path, std::string_view data) {
     return Status::IOError("rename " + tmp + " -> " + path + ": " +
                            ec.message());
   }
+  if (durable) {
+    const std::string parent = fs::path(path).parent_path().string();
+    if (!parent.empty()) SAGA_RETURN_IF_ERROR(SyncDir(parent));
+  }
   return Status::OK();
+}
+
+Status SyncFile(const std::string& path) {
+  return FsyncPath(path, O_RDONLY);
+}
+
+Status SyncDir(const std::string& path) {
+  return FsyncPath(path, O_RDONLY | O_DIRECTORY);
 }
 
 Status AppendToFile(const std::string& path, std::string_view data) {
@@ -78,9 +138,35 @@ Status CreateDirIfMissing(const std::string& path) {
 }
 
 Status RemoveFileIfExists(const std::string& path) {
+  if (Faults().armed()) {
+    SAGA_RETURN_IF_ERROR(Faults().InjectOp("file.remove"));
+  }
   std::error_code ec;
   fs::remove(path, ec);
   if (ec) return Status::IOError("remove " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (Faults().armed()) {
+    SAGA_RETURN_IF_ERROR(Faults().InjectOp("file.rename"));
+  }
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::IOError("rename " + from + " -> " + to + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  std::error_code ec;
+  fs::resize_file(path, size, ec);
+  if (ec) {
+    return Status::IOError("truncate " + path + " to " +
+                           std::to_string(size) + ": " + ec.message());
+  }
   return Status::OK();
 }
 

@@ -14,8 +14,17 @@ namespace saga {
 Result<std::string> ReadFileToString(const std::string& path);
 
 /// Creates/truncates `path` and writes `data` atomically (write to a temp
-/// file, then rename).
-Status WriteStringToFile(const std::string& path, std::string_view data);
+/// file, then rename). With `durable` the temp file is fsync'd before the
+/// rename and the parent directory after it, so the rename itself is
+/// crash-safe. Fault points: `file.write` (payload), `file.rename`.
+Status WriteStringToFile(const std::string& path, std::string_view data,
+                         bool durable = false);
+
+/// fsync(2) on an existing file (no-op success on platforms without it).
+Status SyncFile(const std::string& path);
+
+/// fsync(2) on a directory, making completed renames/creates durable.
+Status SyncDir(const std::string& path);
 
 /// Appends to an existing (or new) file without atomicity guarantees.
 Status AppendToFile(const std::string& path, std::string_view data);
@@ -28,6 +37,14 @@ Status CreateDirIfMissing(const std::string& path);
 
 /// Removes a file; OK if it does not exist.
 Status RemoveFileIfExists(const std::string& path);
+
+/// Renames `from` to `to`, replacing `to` if present. Fault point:
+/// `file.rename`.
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// Truncates `path` to exactly `size` bytes (used by WAL recovery to cut
+/// a torn tail before appending new records behind it).
+Status TruncateFile(const std::string& path, uint64_t size);
 
 /// Recursively removes a directory tree; OK if it does not exist.
 Status RemoveDirRecursively(const std::string& path);

@@ -1,0 +1,74 @@
+#ifndef SAGA_COMMON_RETRY_H_
+#define SAGA_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace saga {
+
+/// Capped exponential backoff with seeded jitter. Used wherever a
+/// transient IO failure should be absorbed instead of surfaced: KV
+/// store open/flush, SSTable reads during recovery, and the serving
+/// tier's ANN index build.
+///
+/// The sleep function is injectable so tests (and the chaos harness)
+/// retry instantly while production callers actually back off.
+class RetryPolicy {
+ public:
+  struct Options {
+    /// Total tries, including the first. <= 1 disables retrying.
+    int max_attempts = 3;
+    double initial_backoff_ms = 1.0;
+    double backoff_multiplier = 2.0;
+    double max_backoff_ms = 50.0;
+    /// Uniform jitter of +/- this fraction around the backoff.
+    double jitter_fraction = 0.2;
+    uint64_t jitter_seed = 42;
+  };
+
+  using SleepFn = std::function<void(double millis)>;
+  using RetryablePredicate = std::function<bool(const Status&)>;
+
+  RetryPolicy() : RetryPolicy(Options()) {}
+  /// Null `sleep` means really sleep (std::this_thread).
+  explicit RetryPolicy(Options options, SleepFn sleep = nullptr);
+
+  /// Runs `op` until it succeeds, fails with a non-retryable status, or
+  /// attempts are exhausted; returns the last status. Each retry (not
+  /// first attempts) bumps the `retry.attempts` counter on `metrics`
+  /// when provided. `retryable` defaults to IsRetryable.
+  Status Run(const std::string& op_name, const std::function<Status()>& op,
+             MetricsRegistry* metrics = nullptr,
+             const RetryablePredicate& retryable = nullptr);
+
+  /// Backoff for the given 1-based completed attempt, jitter included.
+  /// Deterministic for a fixed jitter_seed and call sequence.
+  double BackoffMs(int attempt);
+
+  /// Default classification: IOError and ResourceExhausted are worth
+  /// retrying; corruption and programmer errors are not.
+  static bool IsRetryable(const Status& s) {
+    return s.code() == StatusCode::kIOError ||
+           s.code() == StatusCode::kResourceExhausted;
+  }
+
+  /// Retries performed across all Run calls on this policy.
+  uint64_t total_retries() const { return total_retries_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  SleepFn sleep_;
+  Rng rng_;
+  uint64_t total_retries_ = 0;
+};
+
+}  // namespace saga
+
+#endif  // SAGA_COMMON_RETRY_H_

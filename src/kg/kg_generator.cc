@@ -373,8 +373,11 @@ GeneratedKg GenerateKg(const KgGeneratorConfig& config) {
         rng.Bernoulli(config.ambiguous_name_fraction)) {
       // Reuse an existing name held by someone of a different profession.
       for (int attempt = 0; attempt < 8; ++attempt) {
-        const EntityId other = persons[rng.Uniform(persons.size())];
-        if (person_profession[other.value()] != profession) {
+        // person_profession is parallel to persons — index it with the
+        // person's position, not the global catalog id.
+        const size_t pos = rng.Uniform(persons.size());
+        const EntityId other = persons[pos];
+        if (person_profession[pos] != profession) {
           full_name = cat.name(other);
           forced_ambiguous = true;
           break;
@@ -542,9 +545,11 @@ GeneratedKg GenerateKg(const KgGeneratorConfig& config) {
     add_functional(
         p, h.date_of_birth, Value::OfDate(Date::FromYmd(year, month, day)),
         Value::OfDate(Date::FromYmd(year - 1, month, day)));
-    add_functional(p, h.height_cm,
-                   Value::Int(rng.UniformInt(150, 210)),
-                   Value::Int(rng.UniformInt(150, 210)));
+    const int64_t height = rng.UniformInt(150, 210);
+    int64_t stale_height = rng.UniformInt(150, 210);
+    if (stale_height == height) stale_height = height + 1;  // stale must differ
+    add_functional(p, h.height_cm, Value::Int(height),
+                   Value::Int(stale_height));
     if (rng.Bernoulli(0.6)) {
       kg.AddFact(p, h.library_id,
                  Value::String("NLID" + std::to_string(100000 + p.value())),

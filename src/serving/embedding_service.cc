@@ -3,6 +3,8 @@
 #include "ann/brute_force_index.h"
 #include "ann/ivf_index.h"
 #include "ann/quantized_index.h"
+#include "common/fault_injection.h"
+#include "common/logging.h"
 
 namespace saga::serving {
 
@@ -14,28 +16,57 @@ EmbeddingService::EmbeddingService(embedding::EmbeddingStore store,
                                    const kg::KnowledgeGraph* kg,
                                    Options options)
     : store_(std::move(store)), kg_(kg), options_(options) {
-  switch (options_.index) {
+  BuildIndexWithFallback();
+}
+
+Status EmbeddingService::BuildIndexOnce(IndexKind kind) {
+  // The fault point covers accelerated builds only, so the exact
+  // fallback below can never be failed by injection.
+  if (kind != IndexKind::kExact && Faults().armed()) {
+    SAGA_RETURN_IF_ERROR(Faults().InjectOp("serving.index_build"));
+  }
+  std::unique_ptr<ann::VectorIndex> index;
+  switch (kind) {
     case IndexKind::kExact:
-      index_ = std::make_unique<ann::BruteForceIndex>(store_.dim(),
-                                                      options_.metric);
+      index = std::make_unique<ann::BruteForceIndex>(store_.dim(),
+                                                     options_.metric);
       break;
     case IndexKind::kIvf: {
       ann::IvfIndex::Options ivf;
       ivf.num_lists = options_.ivf_lists;
       ivf.nprobe = options_.ivf_nprobe;
-      index_ = std::make_unique<ann::IvfIndex>(store_.dim(),
-                                               options_.metric, ivf);
+      index = std::make_unique<ann::IvfIndex>(store_.dim(),
+                                              options_.metric, ivf);
       break;
     }
     case IndexKind::kQuantized:
-      index_ = std::make_unique<ann::QuantizedBruteForceIndex>(
+      index = std::make_unique<ann::QuantizedBruteForceIndex>(
           store_.dim(), options_.metric);
       break;
   }
   for (kg::EntityId id : store_.Ids()) {
-    index_->Add(id.value(), *store_.Get(id));
+    index->Add(id.value(), *store_.Get(id));
   }
-  index_->Build();
+  index->Build();
+  index_ = std::move(index);
+  return Status::OK();
+}
+
+void EmbeddingService::BuildIndexWithFallback() {
+  RetryPolicy retry(options_.retry);
+  const Status s = retry.Run(
+      "serving.index_build",
+      [&] { return BuildIndexOnce(options_.index); }, options_.metrics);
+  if (s.ok()) return;
+  // Degraded mode: serve exact brute-force results rather than not
+  // serving at all.
+  SAGA_LOG(Warning) << "accelerated index build failed (" << s
+                    << "); serving degraded to exact search";
+  degraded_ = true;
+  if (options_.metrics != nullptr) {
+    options_.metrics->IncrCounter("serving.degraded");
+  }
+  (void)BuildIndexOnce(IndexKind::kExact);
 }
 
 Result<std::vector<float>> EmbeddingService::GetEmbedding(

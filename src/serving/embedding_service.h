@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "ann/index.h"
+#include "common/metrics.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "embedding/embedding_store.h"
 #include "kg/knowledge_graph.h"
 
@@ -13,6 +15,12 @@ namespace saga::serving {
 
 /// The embedding service of Figure 1: vectorized entity representations
 /// with similarity calculation and efficient k-NN retrieval.
+///
+/// Robustness: if the configured accelerated index (IVF / quantized)
+/// repeatedly fails to build, the service degrades gracefully to exact
+/// brute-force search instead of refusing to serve — correct answers,
+/// reduced throughput. The degradation is observable via degraded()
+/// and the `serving.degraded` counter.
 class EmbeddingService {
  public:
   enum class IndexKind {
@@ -28,6 +36,11 @@ class EmbeddingService {
     ann::Metric metric = ann::Metric::kCosine;
     int ivf_lists = 32;
     int ivf_nprobe = 4;
+    /// Backoff schedule for transient index-build failures.
+    RetryPolicy::Options retry;
+    /// Optional sink for `serving.degraded` / `retry.attempts`. Not
+    /// owned; must outlive the service.
+    MetricsRegistry* metrics = nullptr;
   };
 
   EmbeddingService(embedding::EmbeddingStore store,
@@ -61,13 +74,23 @@ class EmbeddingService {
   const embedding::EmbeddingStore& store() const { return store_; }
   int dim() const { return store_.dim(); }
 
+  /// True when the configured index could not be built and the service
+  /// fell back to exact brute-force search.
+  bool degraded() const { return degraded_; }
+
  private:
   bool PassesTypeFilter(kg::EntityId id, kg::TypeId type) const;
+
+  /// Builds (with retries) the configured index, falling back to exact
+  /// search on persistent failure.
+  void BuildIndexWithFallback();
+  Status BuildIndexOnce(IndexKind kind);
 
   embedding::EmbeddingStore store_;
   const kg::KnowledgeGraph* kg_;
   Options options_;
   std::unique_ptr<ann::VectorIndex> index_;
+  bool degraded_ = false;
 };
 
 }  // namespace saga::serving

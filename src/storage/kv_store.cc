@@ -1,21 +1,89 @@
 #include "storage/kv_store.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <optional>
+#include <set>
 
 #include "common/file_util.h"
+#include "common/logging.h"
 #include "common/serialization.h"
 
 namespace saga::storage {
 
 namespace {
+
 constexpr uint8_t kOpPut = 1;
 constexpr uint8_t kOpDelete = 2;
+/// Per-record WAL framing overhead: fixed32 crc + fixed32 len.
+constexpr uint64_t kWalRecordHeaderBytes = 8;
 constexpr char kSstPrefix[] = "sst_";
+constexpr char kSstSuffix[] = ".sst";
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestHeader[] = "saga-manifest-v1";
+constexpr char kQuarantineSuffix[] = ".quarantined";
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Strict `sst_<digits>.sst` parse; nullopt for anything else (a
+/// lenient strtoull here once collided seq 0 with a real table).
+std::optional<uint64_t> ParseSstSeq(std::string_view name) {
+  constexpr size_t prefix_len = sizeof(kSstPrefix) - 1;
+  constexpr size_t suffix_len = sizeof(kSstSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return std::nullopt;
+  if (name.substr(0, prefix_len) != kSstPrefix) return std::nullopt;
+  if (!EndsWith(name, kSstSuffix)) return std::nullopt;
+  const std::string_view digits =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  if (digits.empty()) return std::nullopt;
+  uint64_t seq = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+std::string BaseName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Parses a MANIFEST payload; nullopt when torn/corrupt.
+std::optional<std::vector<std::string>> ParseManifest(
+    const std::string& data) {
+  const size_t crc_pos = data.rfind("crc:");
+  if (crc_pos == std::string::npos ||
+      (crc_pos > 0 && data[crc_pos - 1] != '\n')) {
+    return std::nullopt;
+  }
+  const uint32_t stored = static_cast<uint32_t>(
+      std::strtoul(data.c_str() + crc_pos + 4, nullptr, 10));
+  if (Crc32(std::string_view(data.data(), crc_pos)) != stored) {
+    return std::nullopt;
+  }
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < crc_pos) {
+    size_t end = data.find('\n', start);
+    if (end == std::string::npos || end > crc_pos) end = crc_pos;
+    lines.emplace_back(data.substr(start, end - start));
+    start = end + 1;
+  }
+  if (lines.empty() || lines.front() != kManifestHeader) return std::nullopt;
+  lines.erase(lines.begin());
+  return lines;
+}
+
 }  // namespace
 
 KvStore::KvStore(std::string dir, Options options)
-    : dir_(std::move(dir)), options_(options) {}
+    : dir_(std::move(dir)), options_(options), retry_(options.retry) {}
 
 Result<std::unique_ptr<KvStore>> KvStore::Open(const std::string& dir) {
   return Open(dir, Options());
@@ -31,47 +99,218 @@ Result<std::unique_ptr<KvStore>> KvStore::Open(const std::string& dir,
 
 std::string KvStore::SstPath(uint64_t seq) const {
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%s%08llu.sst", kSstPrefix,
-                static_cast<unsigned long long>(seq));
+  std::snprintf(buf, sizeof(buf), "%s%08llu%s", kSstPrefix,
+                static_cast<unsigned long long>(seq), kSstSuffix);
   return JoinPath(dir_, buf);
 }
 
 std::string KvStore::WalPath() const { return JoinPath(dir_, "wal.log"); }
 
-Status KvStore::Recover() {
-  SAGA_ASSIGN_OR_RETURN(std::vector<std::string> files, ListDir(dir_));
-  for (const auto& name : files) {
-    if (name.rfind(kSstPrefix, 0) != 0) continue;
-    SAGA_ASSIGN_OR_RETURN(auto reader, SSTableReader::Open(JoinPath(dir_, name)));
-    sstables_.push_back(std::move(reader));
-    const uint64_t seq =
-        std::strtoull(name.c_str() + sizeof(kSstPrefix) - 1, nullptr, 10);
-    next_sst_seq_ = std::max(next_sst_seq_, seq + 1);
+std::string KvStore::ManifestPath() const {
+  return JoinPath(dir_, kManifestName);
+}
+
+Status KvStore::WriteManifest() {
+  std::string payload = kManifestHeader;
+  payload.push_back('\n');
+  for (const auto& sst : sstables_) {
+    payload += BaseName(sst->path());
+    payload.push_back('\n');
   }
-  // ListDir sorts lexicographically and seq numbers are zero-padded, so
-  // sstables_ is already oldest-first.
+  payload += "crc:" + std::to_string(Crc32(payload)) + "\n";
+  return retry_.Run(
+      "kv.manifest",
+      [&] { return WriteStringToFile(ManifestPath(), payload, true); },
+      options_.metrics);
+}
+
+void KvStore::QuarantineFile(const std::string& name) {
+  const std::string from = JoinPath(dir_, name);
+  const std::string to = from + kQuarantineSuffix;
+  (void)RemoveFileIfExists(to);
+  Status s = RenameFile(from, to);
+  if (!s.ok()) {
+    SAGA_LOG(Warning) << "could not quarantine " << from << ": " << s;
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->IncrCounter("sst.quarantined");
+  }
+}
+
+uint64_t KvStore::ReplayWal(const WalReadResult& wal) {
+  size_t replayed = 0;
+  uint64_t keep_bytes = 0;  // on-disk length of the replayed prefix
+  for (const auto& rec : wal.records) {
+    BinaryReader r(rec);
+    uint8_t op = 0;
+    std::string key;
+    std::string value;
+    const bool decoded = r.GetU8(&op).ok() && r.GetString(&key).ok() &&
+                         r.GetString(&value).ok() &&
+                         (op == kOpPut || op == kOpDelete);
+    if (!decoded) {
+      // Degrade to "stop replay at the bad record": ops before it are
+      // kept, everything after is dropped and counted — the store
+      // still opens. The caller truncates the log to keep_bytes so
+      // future appends never land behind the bad record.
+      break;
+    }
+    if (op == kOpPut) {
+      memtable_.Put(key, value);
+    } else {
+      memtable_.Delete(key);
+    }
+    ++replayed;
+    keep_bytes += kWalRecordHeaderBytes + rec.size();
+  }
+  recovery_stats_.wal_records_replayed = replayed;
+  recovery_stats_.wal_records_dropped = wal.records.size() - replayed;
+  recovery_stats_.wal_bytes_dropped = wal.bytes_dropped;
+  for (size_t i = replayed; i < wal.records.size(); ++i) {
+    recovery_stats_.wal_bytes_dropped +=
+        kWalRecordHeaderBytes + wal.records[i].size();
+  }
+  if (recovery_stats_.wal_records_dropped > 0 ||
+      recovery_stats_.wal_bytes_dropped > 0) {
+    SAGA_LOG(Warning) << "WAL replay in " << dir_ << " dropped "
+                      << recovery_stats_.wal_records_dropped
+                      << " records and " << recovery_stats_.wal_bytes_dropped
+                      << " trailing bytes";
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->IncrCounter(
+        "wal.records_dropped",
+        static_cast<int64_t>(recovery_stats_.wal_records_dropped));
+    options_.metrics->IncrCounter(
+        "wal.bytes_dropped",
+        static_cast<int64_t>(recovery_stats_.wal_bytes_dropped));
+  }
+  return keep_bytes;
+}
+
+Status KvStore::Recover() {
+  RecoveryStats& rs = recovery_stats_;
+  SAGA_ASSIGN_OR_RETURN(std::vector<std::string> files, ListDir(dir_));
+
+  // The manifest is the committed table set; absent (fresh dir or
+  // pre-manifest layout) we fall back to loading every conforming
+  // table. A torn/corrupt manifest is treated as absent.
+  std::optional<std::vector<std::string>> manifest;
+  if (FileExists(ManifestPath())) {
+    auto data = ReadFileToString(ManifestPath());
+    if (data.ok()) manifest = ParseManifest(*data);
+    if (!manifest.has_value()) {
+      SAGA_LOG(Warning) << "corrupt MANIFEST in " << dir_
+                        << "; falling back to directory scan";
+    }
+  }
+  rs.manifest_found = manifest.has_value();
+
+  // Classify directory entries. seq numbers from every conforming name
+  // (even quarantined ones) advance next_sst_seq_ so new tables never
+  // collide with leftovers.
+  std::vector<std::pair<uint64_t, std::string>> conforming;
+  for (const auto& name : files) {
+    if (name == kManifestName || name == BaseName(WalPath())) continue;
+    if (EndsWith(name, ".tmp")) {
+      // Uncommitted build artifact from a crash mid-write.
+      if (RemoveFileIfExists(JoinPath(dir_, name)).ok()) {
+        ++rs.tmp_files_removed;
+      }
+      continue;
+    }
+    if (EndsWith(name, kQuarantineSuffix)) {
+      const std::string_view base =
+          std::string_view(name).substr(0, name.size() -
+                                               (sizeof(kQuarantineSuffix) - 1));
+      if (auto seq = ParseSstSeq(base)) {
+        next_sst_seq_ = std::max(next_sst_seq_, *seq + 1);
+      }
+      continue;
+    }
+    if (name.rfind(kSstPrefix, 0) != 0) continue;
+    const auto seq = ParseSstSeq(name);
+    if (!seq.has_value()) {
+      ++rs.malformed_names_skipped;
+      SAGA_LOG(Warning) << "skipping non-conforming table name " << name;
+      continue;
+    }
+    next_sst_seq_ = std::max(next_sst_seq_, *seq + 1);
+    conforming.emplace_back(*seq, name);
+  }
+  std::sort(conforming.begin(), conforming.end());
+
+  // Live set: manifest order when committed, else seq order.
+  std::vector<std::string> live;
+  if (manifest.has_value()) {
+    std::set<std::string> on_disk;
+    for (const auto& [seq, name] : conforming) on_disk.insert(name);
+    std::set<std::string> in_manifest(manifest->begin(), manifest->end());
+    for (const auto& name : *manifest) {
+      if (on_disk.count(name) > 0) {
+        live.push_back(name);
+      } else {
+        ++rs.missing_tables;
+        SAGA_LOG(Error) << "manifest table missing on disk: " << name;
+      }
+    }
+    for (const auto& [seq, name] : conforming) {
+      if (in_manifest.count(name) == 0) {
+        // Orphan: written but never committed (crash between the table
+        // rename and the manifest write, or a leftover compaction
+        // input). Its contents are either still in the WAL or
+        // superseded, so quarantining loses nothing.
+        QuarantineFile(name);
+        ++rs.orphans_quarantined;
+      }
+    }
+  } else {
+    live.reserve(conforming.size());
+    for (const auto& [seq, name] : conforming) live.push_back(name);
+  }
+
+  for (const auto& name : live) {
+    const std::string path = JoinPath(dir_, name);
+    std::shared_ptr<SSTableReader> reader;
+    Status s = retry_.Run(
+        "sst.open",
+        [&]() -> Status {
+          auto r = SSTableReader::Open(path);
+          if (!r.ok()) return r.status();
+          reader = std::move(*r);
+          return Status::OK();
+        },
+        options_.metrics);
+    if (!s.ok()) {
+      SAGA_LOG(Warning) << "quarantining unreadable table " << path << ": "
+                        << s;
+      QuarantineFile(name);
+      ++rs.sstables_quarantined;
+      continue;
+    }
+    sstables_.push_back(std::move(reader));
+    ++rs.sstables_loaded;
+  }
 
   if (options_.use_wal) {
-    SAGA_ASSIGN_OR_RETURN(std::vector<std::string> records,
-                          ReadWalRecords(WalPath()));
-    for (const auto& rec : records) {
-      BinaryReader r(rec);
-      uint8_t op = 0;
-      std::string key;
-      std::string value;
-      SAGA_RETURN_IF_ERROR(r.GetU8(&op));
-      SAGA_RETURN_IF_ERROR(r.GetString(&key));
-      SAGA_RETURN_IF_ERROR(r.GetString(&value));
-      if (op == kOpPut) {
-        memtable_.Put(key, value);
-      } else if (op == kOpDelete) {
-        memtable_.Delete(key);
-      } else {
-        return Status::Corruption("bad WAL op " + std::to_string(op));
-      }
+    SAGA_ASSIGN_OR_RETURN(WalReadResult wal,
+                          ReadWalRecordsDetailed(WalPath()));
+    const uint64_t keep_bytes = ReplayWal(wal);
+    if (recovery_stats_.wal_bytes_dropped > 0 && FileExists(WalPath())) {
+      // Cut the torn/undecodable tail before reopening for append;
+      // otherwise new records land behind the bad bytes and every
+      // future replay stops short of them (silent loss of acked
+      // writes).
+      SAGA_RETURN_IF_ERROR(TruncateFile(WalPath(), keep_bytes));
     }
     wal_ = std::make_unique<WalWriter>(WalPath());
     SAGA_RETURN_IF_ERROR(wal_->Open());
+  }
+
+  // Commit the healed state so the next open sees one source of truth.
+  Status ms = WriteManifest();
+  if (!ms.ok()) {
+    SAGA_LOG(Warning) << "could not write MANIFEST after recovery: " << ms;
   }
   return Status::OK();
 }
@@ -156,22 +395,62 @@ Status KvStore::MaybeFlush() {
   return Flush();
 }
 
+Result<std::shared_ptr<SSTableReader>> KvStore::BuildTableWithRetry(
+    const std::string& path,
+    const std::map<std::string, MemTable::Entry, std::less<>>& rows) {
+  std::shared_ptr<SSTableReader> reader;
+  // Corruption of a table we just built (bit rot between write and
+  // verify) is healed by rebuilding, so it is retryable here — unlike
+  // at recovery time.
+  Status s = retry_.Run(
+      "sst.build",
+      [&]() -> Status {
+        SSTableBuilder::Options bopts;
+        bopts.bits_per_key = options_.bloom_bits_per_key;
+        bopts.index_interval = options_.index_interval;
+        SSTableBuilder builder(bopts);
+        size_t live_rows = 0;
+        for (const auto& [key, entry] : rows) {
+          if (entry.is_tombstone && sstables_.empty()) continue;
+          SAGA_RETURN_IF_ERROR(
+              builder.Add(key, entry.value, entry.is_tombstone));
+          ++live_rows;
+        }
+        SAGA_RETURN_IF_ERROR(builder.Finish(path, live_rows));
+        auto r = SSTableReader::Open(path);
+        if (!r.ok()) {
+          (void)RemoveFileIfExists(path);
+          return r.status();
+        }
+        reader = std::move(*r);
+        return Status::OK();
+      },
+      options_.metrics,
+      [](const Status& st) {
+        return RetryPolicy::IsRetryable(st) || st.IsCorruption();
+      });
+  if (!s.ok()) return s;
+  return reader;
+}
+
 Status KvStore::Flush() {
   if (memtable_.empty()) return Status::OK();
-  SSTableBuilder::Options bopts;
-  bopts.bits_per_key = options_.bloom_bits_per_key;
-  bopts.index_interval = options_.index_interval;
-  SSTableBuilder builder(bopts);
-  for (const auto& [key, entry] : memtable_.entries()) {
-    SAGA_RETURN_IF_ERROR(builder.Add(key, entry.value, entry.is_tombstone));
-  }
   const std::string path = SstPath(next_sst_seq_++);
-  SAGA_RETURN_IF_ERROR(builder.Finish(path, memtable_.size()));
-  SAGA_ASSIGN_OR_RETURN(auto reader, SSTableReader::Open(path));
-  stats_.bytes_flushed += reader->file_bytes();
+  SAGA_ASSIGN_OR_RETURN(std::shared_ptr<SSTableReader> reader,
+                        BuildTableWithRetry(path, memtable_.entries()));
   sstables_.push_back(std::move(reader));
+  Status ms = WriteManifest();
+  if (!ms.ok()) {
+    // The table is on disk but not committed; undo and leave the
+    // memtable + WAL as the source of truth.
+    sstables_.pop_back();
+    (void)RemoveFileIfExists(path);
+    return ms;
+  }
+  stats_.bytes_flushed += sstables_.back()->file_bytes();
   memtable_.Clear();
   ++stats_.flushes;
+  // Only after the manifest commit is it safe to drop the WAL.
   if (options_.use_wal) SAGA_RETURN_IF_ERROR(wal_->Reset());
   if (options_.auto_compact_trigger > 0 &&
       static_cast<int>(sstables_.size()) > options_.auto_compact_trigger) {
@@ -181,34 +460,56 @@ Status KvStore::Flush() {
 }
 
 Status KvStore::CompactAll() {
+  // Retry removals a previous compaction could not complete.
+  std::vector<std::string> still_pending;
+  for (const auto& p : pending_gc_) {
+    if (FileExists(p) && !RemoveFileIfExists(p).ok()) {
+      still_pending.push_back(p);
+    }
+  }
+  pending_gc_ = std::move(still_pending);
+
   if (sstables_.size() <= 1) return Status::OK();
-  std::map<std::string, MemTable::Entry> merged;
+  std::map<std::string, MemTable::Entry, std::less<>> merged;
   for (const auto& sst : sstables_) {  // oldest first
     for (auto& e : sst->ScanAll()) {
       merged[std::move(e.key)] =
           MemTable::Entry{std::move(e.value), e.is_tombstone};
     }
   }
-  SSTableBuilder::Options bopts;
-  bopts.bits_per_key = options_.bloom_bits_per_key;
-  bopts.index_interval = options_.index_interval;
-  SSTableBuilder builder(bopts);
-  for (const auto& [key, entry] : merged) {
-    // Tombstones can be dropped entirely: nothing older remains.
-    if (entry.is_tombstone) continue;
-    SAGA_RETURN_IF_ERROR(builder.Add(key, entry.value, false));
+  // Tombstones can be dropped entirely: the merged table replaces all
+  // older history, and the manifest commit below makes that atomic
+  // even across a crash (leftover inputs are quarantined as orphans,
+  // never read alongside the merged output).
+  for (auto it = merged.begin(); it != merged.end();) {
+    it = it->second.is_tombstone ? merged.erase(it) : std::next(it);
   }
   const std::string path = SstPath(next_sst_seq_++);
-  SAGA_RETURN_IF_ERROR(builder.Finish(path, merged.size()));
-  SAGA_ASSIGN_OR_RETURN(auto reader, SSTableReader::Open(path));
+  SAGA_ASSIGN_OR_RETURN(std::shared_ptr<SSTableReader> reader,
+                        BuildTableWithRetry(path, merged));
 
   std::vector<std::string> old_paths;
   old_paths.reserve(sstables_.size());
   for (const auto& sst : sstables_) old_paths.push_back(sst->path());
-  sstables_.clear();
-  sstables_.push_back(std::move(reader));
+
+  std::vector<std::shared_ptr<SSTableReader>> new_tables;
+  new_tables.push_back(std::move(reader));
+  std::swap(sstables_, new_tables);
+  Status ms = WriteManifest();
+  if (!ms.ok()) {
+    // Not committed: keep serving the old table set; the merged file
+    // becomes an orphan for the next recovery to quarantine.
+    std::swap(sstables_, new_tables);
+    (void)RemoveFileIfExists(path);
+    return ms;
+  }
   for (const auto& p : old_paths) {
-    SAGA_RETURN_IF_ERROR(RemoveFileIfExists(p));
+    if (!RemoveFileIfExists(p).ok()) {
+      // Non-fatal: the compaction is committed; the leftover is
+      // unreferenced and will be collected by a later CompactAll (or
+      // quarantined at the next open).
+      pending_gc_.push_back(p);
+    }
   }
   ++stats_.compactions;
   return Status::OK();

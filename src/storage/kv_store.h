@@ -6,7 +6,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "storage/memtable.h"
 #include "storage/sstable.h"
@@ -18,6 +20,15 @@ namespace saga::storage {
 /// bloom filters and full compaction. Serves as (a) the low-latency
 /// embedding cache behind the semantic-annotation reranker (§3.2) and
 /// (b) the spill/checkpoint target for on-device construction (§5).
+///
+/// Crash safety: every SSTable is built in a temp file and atomically
+/// renamed in; the set of live tables is committed in a small CRC'd
+/// MANIFEST written after each flush/compaction (before the WAL is
+/// reset), so a crash at any point leaves either the old or the new
+/// table set — never a torn mix. Recover() quarantines corrupt or
+/// orphaned tables (renames them aside and counts them) and degrades a
+/// bad WAL tail to "stop replay there" instead of refusing to open.
+/// See DESIGN.md, "Durability & failure model".
 class KvStore {
  public:
   struct Options {
@@ -28,12 +39,19 @@ class KvStore {
     int index_interval = 16;
     /// Disable to trade durability for ingest speed (bulk loads).
     bool use_wal = true;
-    /// fsync-ish flush after every write.
+    /// fsync after every write: an OK Put/Delete is durable.
     bool sync_every_write = false;
     /// When > 0, a flush that leaves more than this many SSTables
     /// triggers CompactAll automatically (simple tiered compaction,
     /// bounding read amplification).
     int auto_compact_trigger = 0;
+    /// Backoff schedule for transient IO failures during open, flush
+    /// and compaction.
+    RetryPolicy::Options retry;
+    /// Optional sink for robustness counters (sst.quarantined,
+    /// wal.records_dropped, wal.bytes_dropped, retry.attempts). Not
+    /// owned; must outlive the store.
+    MetricsRegistry* metrics = nullptr;
   };
 
   struct Stats {
@@ -45,6 +63,32 @@ class KvStore {
     uint64_t flushes = 0;
     uint64_t compactions = 0;
     uint64_t bytes_flushed = 0;
+  };
+
+  /// What Recover() found and repaired. Anything nonzero besides
+  /// `sstables_loaded` / `wal_records_replayed` means the store healed
+  /// itself from a crash or corruption.
+  struct RecoveryStats {
+    uint64_t sstables_loaded = 0;
+    /// Live tables that failed to open (corrupt); renamed aside to
+    /// `<name>.quarantined`.
+    uint64_t sstables_quarantined = 0;
+    /// Tables on disk but not in the manifest (crash between table
+    /// rename and manifest commit); also renamed aside.
+    uint64_t orphans_quarantined = 0;
+    /// Manifest entries with no file on disk (lost tables).
+    uint64_t missing_tables = 0;
+    /// Leftover `.tmp` build artifacts deleted.
+    uint64_t tmp_files_removed = 0;
+    /// `sst_*` names that do not parse as `sst_<digits>.sst`.
+    uint64_t malformed_names_skipped = 0;
+    uint64_t wal_records_replayed = 0;
+    /// Records dropped because a record failed to decode (everything
+    /// from the bad record on).
+    uint64_t wal_records_dropped = 0;
+    /// Trailing torn/corrupt WAL bytes discarded by replay.
+    uint64_t wal_bytes_dropped = 0;
+    bool manifest_found = false;
   };
 
   /// Opens (or creates) a store in `dir`, replaying any WAL tail.
@@ -67,12 +111,16 @@ class KvStore {
   Status Flush();
 
   /// Merges all SSTables into one, dropping tombstones and shadowed
-  /// versions.
+  /// versions. Also retries removal of any files a previous compaction
+  /// failed to delete.
   Status CompactAll();
 
   size_t num_sstables() const { return sstables_.size(); }
   size_t memtable_bytes() const { return memtable_.ApproximateBytes(); }
   const Stats& stats() const { return stats_; }
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  /// Stale table files whose removal failed and is pending retry.
+  size_t pending_gc() const { return pending_gc_.size(); }
   const std::string& dir() const { return dir_; }
 
  private:
@@ -82,7 +130,22 @@ class KvStore {
   Status MaybeFlush();
   std::string SstPath(uint64_t seq) const;
   std::string WalPath() const;
+  std::string ManifestPath() const;
   Status LogOp(uint8_t op, std::string_view key, std::string_view value);
+
+  /// Commits the current live table set (sstables_ paths) durably.
+  Status WriteManifest();
+  /// Renames dir_/name aside to name.quarantined (best-effort).
+  void QuarantineFile(const std::string& name);
+  /// Builds an SSTable from sorted entries, opens it, retrying
+  /// transient failures and rebuilding on fresh-table corruption.
+  Result<std::shared_ptr<SSTableReader>> BuildTableWithRetry(
+      const std::string& path,
+      const std::map<std::string, MemTable::Entry, std::less<>>& rows);
+  /// Replays intact, decodable records into the memtable and returns
+  /// the on-disk byte length of that replayed prefix (so Recover can
+  /// truncate a damaged log before appending behind the damage).
+  uint64_t ReplayWal(const WalReadResult& wal);
 
   std::string dir_;
   Options options_;
@@ -92,6 +155,9 @@ class KvStore {
   std::unique_ptr<WalWriter> wal_;
   uint64_t next_sst_seq_ = 0;
   Stats stats_;
+  RecoveryStats recovery_stats_;
+  RetryPolicy retry_;
+  std::vector<std::string> pending_gc_;
 };
 
 }  // namespace saga::storage

@@ -1,7 +1,9 @@
 #include "storage/sstable.h"
 
 #include <algorithm>
+#include <fstream>
 
+#include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/serialization.h"
 #include "storage/wal.h"  // Crc32
@@ -65,11 +67,30 @@ Status SSTableBuilder::Finish(const std::string& path, size_t expected_keys) {
   w.PutFixed64(num_entries_);
   w.PutFixed32(Crc32(std::string_view(file.data(), index_off)));
   w.PutFixed32(kSstMagic);
-  return WriteStringToFile(path, file);
+  if (Faults().armed()) {
+    // A bit flip here is committed to disk and only caught by the
+    // footer CRC at Open time; a torn write or failure aborts before
+    // the atomic rename below.
+    const WriteFault f = Faults().InjectWrite("sst.build", &file);
+    if (f.fail && !f.write_payload) {
+      return Status::IOError("injected SSTable build failure: " + path);
+    }
+    if (f.fail) {
+      // Torn build: the prefix reaches the temp file (exactly what a
+      // crash mid-write leaves); the table is never renamed in.
+      std::ofstream torn(path + ".tmp", std::ios::binary | std::ios::trunc);
+      torn.write(file.data(), static_cast<std::streamsize>(file.size()));
+      return Status::IOError("injected torn SSTable build: " + path);
+    }
+  }
+  return WriteStringToFile(path, file, /*durable=*/true);
 }
 
 Result<std::shared_ptr<SSTableReader>> SSTableReader::Open(
     const std::string& path) {
+  if (Faults().armed()) {
+    SAGA_RETURN_IF_ERROR(Faults().InjectOp("sst.open"));
+  }
   SAGA_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
   auto reader = std::shared_ptr<SSTableReader>(
       new SSTableReader(path, std::move(data), BloomFilter::FromBytes("")));

@@ -2,12 +2,24 @@
 
 #include <array>
 
+#include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/serialization.h"
+
+#ifndef SAGA_WAL_OFSTREAM_FALLBACK
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
 
 namespace saga::storage {
 
 namespace {
+
+/// Appends are buffered up to this many bytes before hitting the fd.
+constexpr size_t kWalBufferBytes = 64 << 10;
 
 std::array<uint32_t, 256> MakeCrcTable() {
   std::array<uint32_t, 256> table{};
@@ -34,45 +46,146 @@ uint32_t Crc32(std::string_view data) {
 
 WalWriter::WalWriter(std::string path) : path_(std::move(path)) {}
 
+WalWriter::~WalWriter() {
+  // Best-effort flush of buffered (never-synced, hence unacknowledged)
+  // records, matching what an OS page cache would eventually do.
+  (void)FlushBuffer();
+  CloseFd();
+}
+
+bool WalWriter::IsOpen() const {
+#ifdef SAGA_WAL_OFSTREAM_FALLBACK
+  return out_.is_open();
+#else
+  return fd_ >= 0;
+#endif
+}
+
+void WalWriter::CloseFd() {
+#ifdef SAGA_WAL_OFSTREAM_FALLBACK
+  if (out_.is_open()) out_.close();
+#else
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#endif
+}
+
 Status WalWriter::Open() {
+  if (Faults().armed()) {
+    SAGA_RETURN_IF_ERROR(Faults().InjectOp("wal.open"));
+  }
+#ifdef SAGA_WAL_OFSTREAM_FALLBACK
   out_.open(path_, std::ios::binary | std::ios::app);
   if (!out_) return Status::IOError("cannot open WAL: " + path_);
+#else
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("cannot open WAL " + path_ + ": " +
+                           std::strerror(errno));
+  }
+#endif
+  return Status::OK();
+}
+
+Status WalWriter::WriteRaw(std::string_view data) {
+#ifdef SAGA_WAL_OFSTREAM_FALLBACK
+  out_.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out_) return Status::IOError("WAL write failed: " + path_);
+#else
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("WAL write failed " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+#endif
+  return Status::OK();
+}
+
+Status WalWriter::FlushBuffer() {
+  if (buffer_.empty()) return Status::OK();
+  if (!IsOpen()) return Status::FailedPrecondition("WAL not open");
+  SAGA_RETURN_IF_ERROR(WriteRaw(buffer_));
+  buffer_.clear();
   return Status::OK();
 }
 
 Status WalWriter::Append(std::string_view record) {
-  if (!out_.is_open()) return Status::FailedPrecondition("WAL not open");
-  std::string header;
-  BinaryWriter w(&header);
+  if (!IsOpen()) return Status::FailedPrecondition("WAL not open");
+  std::string encoded;
+  BinaryWriter w(&encoded);
   w.PutFixed32(Crc32(record));
   w.PutFixed32(static_cast<uint32_t>(record.size()));
-  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
-  out_.write(record.data(), static_cast<std::streamsize>(record.size()));
-  if (!out_) return Status::IOError("WAL append failed: " + path_);
-  bytes_written_ += header.size() + record.size();
+  encoded.append(record);
+  if (Faults().armed()) {
+    const WriteFault f = Faults().InjectWrite("wal.append", &encoded);
+    if (f.fail && !f.write_payload) {
+      return Status::IOError("injected WAL append failure: " + path_);
+    }
+    if (f.fail) {
+      // Torn append: the truncated prefix reaches the file — exactly the
+      // state a crash mid-write leaves behind — and the caller sees an
+      // error, so the record was never acknowledged.
+      buffer_.append(encoded);
+      (void)FlushBuffer();
+      return Status::IOError("injected torn WAL append: " + path_);
+    }
+  }
+  buffer_.append(encoded);
+  bytes_written_ += encoded.size();
+  if (buffer_.size() >= kWalBufferBytes) {
+    SAGA_RETURN_IF_ERROR(FlushBuffer());
+  }
   return Status::OK();
 }
 
 Status WalWriter::Sync() {
-  if (!out_.is_open()) return Status::FailedPrecondition("WAL not open");
+  if (!IsOpen()) return Status::FailedPrecondition("WAL not open");
+  if (Faults().armed()) {
+    SAGA_RETURN_IF_ERROR(Faults().InjectOp("wal.sync"));
+  }
+  SAGA_RETURN_IF_ERROR(FlushBuffer());
+#ifdef SAGA_WAL_OFSTREAM_FALLBACK
   out_.flush();
   if (!out_) return Status::IOError("WAL sync failed: " + path_);
+#else
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("WAL fsync failed " + path_ + ": " +
+                           std::strerror(errno));
+  }
+#endif
   return Status::OK();
 }
 
 Status WalWriter::Reset() {
-  if (out_.is_open()) out_.close();
+  buffer_.clear();
+  CloseFd();
+#ifdef SAGA_WAL_OFSTREAM_FALLBACK
   out_.open(path_, std::ios::binary | std::ios::trunc);
   if (!out_) return Status::IOError("cannot truncate WAL: " + path_);
+#else
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("cannot truncate WAL " + path_ + ": " +
+                           std::strerror(errno));
+  }
+#endif
   bytes_written_ = 0;
   return Status::OK();
 }
 
-Result<std::vector<std::string>> ReadWalRecords(const std::string& path) {
-  std::vector<std::string> records;
-  if (!FileExists(path)) return records;
+Result<WalReadResult> ReadWalRecordsDetailed(const std::string& path) {
+  WalReadResult out;
+  if (!FileExists(path)) return out;
   SAGA_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
   BinaryReader r(data);
+  size_t intact_end = 0;
   while (!r.AtEnd()) {
     uint32_t crc = 0;
     uint32_t len = 0;
@@ -80,10 +193,18 @@ Result<std::vector<std::string>> ReadWalRecords(const std::string& path) {
     if (r.remaining() < len) break;  // torn tail record
     std::string_view payload(data.data() + r.position(), len);
     if (Crc32(payload) != crc) break;  // corrupt tail record
-    records.emplace_back(payload);
+    out.records.emplace_back(payload);
     SAGA_RETURN_IF_ERROR(r.Skip(len));
+    intact_end = r.position();
   }
-  return records;
+  out.bytes_dropped = data.size() - intact_end;
+  out.clean = out.bytes_dropped == 0;
+  return out;
+}
+
+Result<std::vector<std::string>> ReadWalRecords(const std::string& path) {
+  SAGA_ASSIGN_OR_RETURN(WalReadResult result, ReadWalRecordsDetailed(path));
+  return std::move(result.records);
 }
 
 }  // namespace saga::storage

@@ -2,13 +2,24 @@
 #define SAGA_STORAGE_WAL_H_
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+
+// The writer uses a raw POSIX fd so Sync() can fsync(2); define
+// SAGA_WAL_OFSTREAM_FALLBACK (or build on a non-POSIX platform) to fall
+// back to a buffered std::ofstream whose Sync() is only a flush.
+#if !defined(SAGA_WAL_OFSTREAM_FALLBACK) && \
+    !(defined(__unix__) || defined(__APPLE__))
+#define SAGA_WAL_OFSTREAM_FALLBACK 1
+#endif
+
+#ifdef SAGA_WAL_OFSTREAM_FALLBACK
+#include <fstream>
+#endif
 
 namespace saga::storage {
 
@@ -17,10 +28,16 @@ uint32_t Crc32(std::string_view data);
 
 /// Append-only write-ahead log. Each record: fixed32 crc | fixed32 len |
 /// payload. Replay stops cleanly at the first torn or corrupt record so
-/// a crash mid-append loses at most the tail.
+/// a crash mid-append loses at most the unacknowledged tail.
+///
+/// Appends accumulate in a small userspace buffer; Sync() writes the
+/// buffer to the fd and fsyncs, so a Status::OK from Sync means the
+/// records are durable, not merely handed to the OS. Fault points:
+/// `wal.open`, `wal.append` (payload-mutating), `wal.sync`.
 class WalWriter {
  public:
   explicit WalWriter(std::string path);
+  ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
@@ -30,7 +47,7 @@ class WalWriter {
 
   Status Append(std::string_view record);
 
-  /// Flushes buffered writes to the OS.
+  /// Flushes buffered records to the file and fsyncs it.
   Status Sync();
 
   /// Closes and truncates the log to empty (called after a successful
@@ -40,13 +57,39 @@ class WalWriter {
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
+  Status FlushBuffer();
+  Status WriteRaw(std::string_view data);
+  bool IsOpen() const;
+  void CloseFd();
+
   std::string path_;
+  std::string buffer_;
+#ifdef SAGA_WAL_OFSTREAM_FALLBACK
   std::ofstream out_;
+#else
+  int fd_ = -1;
+#endif
   uint64_t bytes_written_ = 0;
 };
 
-/// Reads all intact records from a WAL file. Missing file yields an
-/// empty list (fresh database).
+/// Everything learned from reading a WAL file: the intact records plus
+/// how much trailing data was dropped (torn or corrupt tail). Callers
+/// that care about silent data loss surface `bytes_dropped` as a
+/// metric instead of hiding it.
+struct WalReadResult {
+  std::vector<std::string> records;
+  /// Trailing bytes after the last intact record (0 on a clean log).
+  uint64_t bytes_dropped = 0;
+  /// False when a torn or corrupt tail was dropped.
+  bool clean = true;
+};
+
+/// Reads all intact records plus drop accounting. A missing file yields
+/// an empty, clean result (fresh database).
+Result<WalReadResult> ReadWalRecordsDetailed(const std::string& path);
+
+/// Legacy convenience wrapper around ReadWalRecordsDetailed that keeps
+/// only the records.
 Result<std::vector<std::string>> ReadWalRecords(const std::string& path);
 
 }  // namespace saga::storage

@@ -1,0 +1,311 @@
+// Chaos harness for the storage and serving tiers: run a randomized
+// Put/Delete workload with a durable (sync-every-write) KvStore, inject
+// a fault at a random point, treat the first failed operation as a
+// crash, reopen, and assert that (a) Open never surfaces a corruption
+// status and (b) every acknowledged write is readable with its latest
+// acknowledged value. Also exercises the serving tier's degraded mode:
+// with index-build faults injected, EmbeddingService must fall back to
+// exact search and still return correct results.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "embedding/trainer.h"
+#include "graph_engine/view.h"
+#include "kg/kg_generator.h"
+#include "serving/embedding_service.h"
+#include "storage/kv_store.h"
+
+namespace saga::storage {
+namespace {
+
+struct FaultChoice {
+  const char* point;
+  FaultKind kind;
+};
+
+/// Every injectable crash point the storage stack exposes; the chaos
+/// loop cycles through all of them.
+constexpr FaultChoice kFaultMenu[] = {
+    {"wal.append", FaultKind::kTornWrite},  // torn WAL tail
+    {"wal.append", FaultKind::kFail},
+    {"wal.sync", FaultKind::kFail},         // failed fsync
+    {"file.write", FaultKind::kTornWrite},  // torn SSTable/manifest tmp
+    {"file.write", FaultKind::kFail},
+    {"file.rename", FaultKind::kFail},      // failed commit rename
+    {"sst.build", FaultKind::kTornWrite},   // torn table build
+    {"sst.build", FaultKind::kBitFlip},     // silent table corruption
+    {"file.remove", FaultKind::kFail},      // failed stale-table removal
+};
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetMinLogLevel(LogLevel::kError); }
+  void TearDown() override {
+    Faults().DisarmAll();
+    SetMinLogLevel(LogLevel::kInfo);
+  }
+};
+
+TEST_F(ChaosTest, CrashReplayLoopLosesNoSyncedWrite) {
+  constexpr int kIterations = 220;
+  constexpr int kKeySpace = 40;
+  int crashes = 0;
+  int64_t total_quarantined = 0;
+  int64_t total_wal_dropped = 0;
+
+  for (int iter = 0; iter < kIterations; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    Rng rng(10007 * iter + 13);
+    Faults().Seed(rng.NextUint64());
+    auto dir = MakeTempDir("saga_chaos");
+    ASSERT_TRUE(dir.ok());
+    MetricsRegistry metrics;
+    KvStore::Options opts;
+    opts.memtable_max_bytes = 1024 + rng.Uniform(2048);
+    opts.sync_every_write = true;  // an OK op is a durable op
+    opts.auto_compact_trigger = rng.Bernoulli(0.4) ? 2 : 0;
+    opts.retry.max_attempts = 2;
+    opts.retry.initial_backoff_ms = 0.0;
+    opts.retry.max_backoff_ms = 0.0;
+    opts.metrics = &metrics;
+
+    // State after every acknowledged op; the single failing op (if
+    // any) is indeterminate — it may or may not have reached disk.
+    std::map<std::string, std::string> model;
+    std::optional<std::string> indeterminate_key;
+
+    {
+      auto store = KvStore::Open(*dir, opts);
+      ASSERT_TRUE(store.ok()) << store.status();
+      const int n_ops = 20 + static_cast<int>(rng.Uniform(25));
+      const int fault_at = static_cast<int>(rng.Uniform(n_ops));
+      for (int op = 0; op < n_ops; ++op) {
+        if (op == fault_at) {
+          const FaultChoice& choice =
+              kFaultMenu[rng.Uniform(std::size(kFaultMenu))];
+          FaultSpec spec;
+          spec.kind = choice.kind;
+          spec.fail_nth = 1 + static_cast<int>(rng.Uniform(3));
+          spec.keep_fraction = rng.NextDouble();
+          spec.repeat = rng.Bernoulli(0.5);
+          Faults().Arm(choice.point, spec);
+        }
+        const std::string key = "k" + std::to_string(rng.Uniform(kKeySpace));
+        const uint64_t action = rng.Uniform(12);
+        Status s;
+        if (action < 8) {
+          const std::string value =
+              "v" + std::to_string(iter) + "_" + std::to_string(op);
+          s = (*store)->Put(key, value);
+          if (s.ok()) {
+            model[key] = value;
+          } else {
+            indeterminate_key = key;
+          }
+        } else if (action < 10) {
+          s = (*store)->Delete(key);
+          if (s.ok()) {
+            model.erase(key);
+          } else {
+            indeterminate_key = key;
+          }
+        } else if (action == 10) {
+          s = (*store)->Flush();
+        } else {
+          s = (*store)->CompactAll();
+        }
+        if (!s.ok()) {
+          // Crash: abandon the store with the fault still armed, as a
+          // real process death would.
+          ++crashes;
+          break;
+        }
+      }
+      // Process "dies" here; the destructor may flush OS-buffered
+      // bytes, exactly like a kernel page-cache writeback.
+    }
+    Faults().DisarmAll();
+
+    // Reopen on clean hardware: recovery must succeed (quarantining,
+    // never propagating corruption) and serve every acked write.
+    auto reopened = KvStore::Open(*dir, opts);
+    ASSERT_TRUE(reopened.ok())
+        << "recovery surfaced an error: " << reopened.status();
+    for (int i = 0; i < kKeySpace; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      auto got = (*reopened)->Get(key);
+      ASSERT_TRUE(got.ok() || got.status().IsNotFound())
+          << key << ": " << got.status();
+      if (indeterminate_key.has_value() && key == *indeterminate_key) {
+        continue;  // unacked op: either pre- or post-state is legal
+      }
+      auto expect = model.find(key);
+      if (expect == model.end()) {
+        EXPECT_TRUE(got.status().IsNotFound())
+            << key << " resurrected with value " << *got;
+      } else {
+        ASSERT_TRUE(got.ok()) << "lost synced write " << key;
+        EXPECT_EQ(*got, expect->second) << "stale value for " << key;
+      }
+    }
+    const auto& rs = (*reopened)->recovery_stats();
+    total_quarantined += static_cast<int64_t>(rs.sstables_quarantined +
+                                              rs.orphans_quarantined);
+    total_wal_dropped += static_cast<int64_t>(rs.wal_bytes_dropped);
+    (void)RemoveDirRecursively(*dir);
+  }
+
+  // The menu must actually bite: most iterations should crash, and the
+  // crash artifacts (quarantines, torn WAL tails) should show up.
+  EXPECT_GT(crashes, kIterations / 3);
+  EXPECT_GT(total_wal_dropped + total_quarantined, 0);
+}
+
+/// Recovery directly on top of every torn-artifact combination the
+/// menu can produce, several times per fault point.
+TEST_F(ChaosTest, RepeatedCrashesAcrossReopens) {
+  Rng rng(4242);
+  auto dir = MakeTempDir("saga_chaos_reopen");
+  ASSERT_TRUE(dir.ok());
+  KvStore::Options opts;
+  opts.memtable_max_bytes = 1024;
+  opts.sync_every_write = true;
+  opts.retry.max_attempts = 1;
+  std::map<std::string, std::string> model;
+  std::optional<std::string> indeterminate_key;
+
+  // One long-lived directory crashed into 40 times in a row: damage
+  // must never accumulate into an unopenable store.
+  for (int round = 0; round < 40; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    auto store = KvStore::Open(*dir, opts);
+    ASSERT_TRUE(store.ok()) << store.status();
+    if (indeterminate_key.has_value()) {
+      // Settle the previous round's indeterminate key to whatever the
+      // store actually has.
+      auto got = (*store)->Get(*indeterminate_key);
+      if (got.ok()) {
+        model[*indeterminate_key] = *got;
+      } else {
+        model.erase(*indeterminate_key);
+      }
+      indeterminate_key.reset();
+    }
+    for (const auto& [key, value] : model) {
+      auto got = (*store)->Get(key);
+      ASSERT_TRUE(got.ok()) << "lost " << key;
+      EXPECT_EQ(*got, value);
+    }
+    const FaultChoice& choice = kFaultMenu[rng.Uniform(std::size(kFaultMenu))];
+    FaultSpec spec;
+    spec.kind = choice.kind;
+    spec.fail_nth = 1 + static_cast<int>(rng.Uniform(4));
+    spec.repeat = true;
+    Faults().Arm(choice.point, spec);
+    for (int op = 0; op < 12; ++op) {
+      const std::string key = "k" + std::to_string(rng.Uniform(16));
+      const std::string value =
+          "r" + std::to_string(round) + "_" + std::to_string(op);
+      Status s = (*store)->Put(key, value);
+      if (s.ok()) {
+        model[key] = value;
+      } else {
+        indeterminate_key = key;
+        break;
+      }
+    }
+    Faults().DisarmAll();
+  }
+  (void)RemoveDirRecursively(*dir);
+}
+
+}  // namespace
+}  // namespace saga::storage
+
+namespace saga::serving {
+namespace {
+
+TEST(ChaosServingTest, DegradedEmbeddingServiceServesExactResults) {
+  kg::KgGeneratorConfig config;
+  config.num_persons = 80;
+  config.num_movies = 30;
+  kg::GeneratedKg gen = kg::GenerateKg(config);
+  auto view = graph_engine::GraphView::Build(gen.kg,
+                                             graph_engine::ViewDefinition());
+  embedding::TrainingConfig tc;
+  tc.model = embedding::ModelKind::kDistMult;
+  tc.dim = 16;
+  tc.epochs = 3;
+  embedding::TrainedEmbeddings emb = embedding::InMemoryTrainer(tc).Train(view);
+
+  // Reference: a healthy exact service.
+  EmbeddingService exact(embedding::EmbeddingStore::FromTrained(emb, view),
+                         &gen.kg);
+  ASSERT_FALSE(exact.degraded());
+
+  for (EmbeddingService::IndexKind kind :
+       {EmbeddingService::IndexKind::kIvf,
+        EmbeddingService::IndexKind::kQuantized}) {
+    MetricsRegistry metrics;
+    EmbeddingService::Options opts;
+    opts.index = kind;
+    opts.metrics = &metrics;
+    opts.retry.max_attempts = 2;
+    opts.retry.initial_backoff_ms = 0.0;
+    opts.retry.max_backoff_ms = 0.0;
+    FaultSpec spec;
+    spec.fail_nth = 0;  // every build attempt fails
+    spec.repeat = true;
+    ScopedFault fault("serving.index_build", spec);
+    EmbeddingService service(
+        embedding::EmbeddingStore::FromTrained(emb, view), &gen.kg, opts);
+    EXPECT_TRUE(service.degraded());
+    EXPECT_EQ(metrics.counter("serving.degraded"), 1);
+    EXPECT_GE(metrics.counter("retry.attempts"), 1);
+
+    const kg::EntityId a = view.global_entity(1);
+    auto degraded_hits = service.TopKNeighbors(a, 5);
+    auto exact_hits = exact.TopKNeighbors(a, 5);
+    ASSERT_TRUE(degraded_hits.ok());
+    ASSERT_TRUE(exact_hits.ok());
+    ASSERT_EQ(degraded_hits->size(), exact_hits->size());
+    for (size_t i = 0; i < exact_hits->size(); ++i) {
+      EXPECT_EQ((*degraded_hits)[i].first, (*exact_hits)[i].first);
+      EXPECT_NEAR((*degraded_hits)[i].second, (*exact_hits)[i].second, 1e-9);
+    }
+  }
+  Faults().DisarmAll();
+}
+
+TEST(ChaosServingTest, HealthyBuildIsNotDegraded) {
+  kg::KgGeneratorConfig config;
+  config.num_persons = 40;
+  kg::GeneratedKg gen = kg::GenerateKg(config);
+  auto view = graph_engine::GraphView::Build(gen.kg,
+                                             graph_engine::ViewDefinition());
+  embedding::TrainingConfig tc;
+  tc.dim = 8;
+  tc.epochs = 2;
+  embedding::TrainedEmbeddings emb = embedding::InMemoryTrainer(tc).Train(view);
+  MetricsRegistry metrics;
+  EmbeddingService::Options opts;
+  opts.index = EmbeddingService::IndexKind::kIvf;
+  opts.metrics = &metrics;
+  EmbeddingService service(embedding::EmbeddingStore::FromTrained(emb, view),
+                           &gen.kg, opts);
+  EXPECT_FALSE(service.degraded());
+  EXPECT_EQ(metrics.counter("serving.degraded"), 0);
+}
+
+}  // namespace
+}  // namespace saga::serving

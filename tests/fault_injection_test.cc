@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/retry.h"
+
+namespace saga {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Faults().DisarmAll(); }
+};
+
+TEST_F(FaultInjectorTest, UnarmedIsFree) {
+  EXPECT_FALSE(Faults().armed());
+  EXPECT_TRUE(Faults().InjectOp("some.point").ok());
+}
+
+TEST_F(FaultInjectorTest, FailNthFiresExactlyOnce) {
+  FaultSpec spec;
+  spec.fail_nth = 3;
+  Faults().Arm("p", spec);
+  EXPECT_TRUE(Faults().armed());
+  EXPECT_TRUE(Faults().InjectOp("p").ok());
+  EXPECT_TRUE(Faults().InjectOp("p").ok());
+  EXPECT_TRUE(Faults().InjectOp("p").IsIOError());
+  // One-shot: disarmed after firing.
+  EXPECT_TRUE(Faults().InjectOp("p").ok());
+  EXPECT_FALSE(Faults().armed());
+  EXPECT_EQ(Faults().fires("p"), 1u);
+}
+
+TEST_F(FaultInjectorTest, RepeatKeepsFiring) {
+  FaultSpec spec;
+  spec.fail_nth = 2;
+  spec.repeat = true;
+  Faults().Arm("p", spec);
+  EXPECT_TRUE(Faults().InjectOp("p").ok());
+  EXPECT_TRUE(Faults().InjectOp("p").IsIOError());
+  EXPECT_TRUE(Faults().InjectOp("p").IsIOError());
+  EXPECT_TRUE(Faults().armed());
+}
+
+TEST_F(FaultInjectorTest, ProbabilityIsSeededAndReproducible) {
+  auto run = [](uint64_t seed) {
+    Faults().DisarmAll();
+    Faults().Seed(seed);
+    FaultSpec spec;
+    spec.fail_nth = 0;
+    spec.probability = 0.5;
+    spec.repeat = true;
+    Faults().Arm("p", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!Faults().InjectOp("p").ok());
+    Faults().DisarmAll();
+    return fired;
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // ~50% of 64 hits should fire; allow a wide band.
+  const int fires = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 10);
+  EXPECT_LT(fires, 54);
+}
+
+TEST_F(FaultInjectorTest, TornWriteTruncatesPayload) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kTornWrite;
+  spec.keep_fraction = 0.25;
+  Faults().Arm("w", spec);
+  std::string payload(100, 'x');
+  const WriteFault f = Faults().InjectWrite("w", &payload);
+  EXPECT_TRUE(f.fail);
+  EXPECT_TRUE(f.write_payload);
+  EXPECT_EQ(payload.size(), 25u);
+}
+
+TEST_F(FaultInjectorTest, BitFlipMutatesWithoutFailing) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kBitFlip;
+  Faults().Arm("w", spec);
+  std::string payload(100, 'x');
+  const WriteFault f = Faults().InjectWrite("w", &payload);
+  EXPECT_FALSE(f.fail);
+  EXPECT_TRUE(f.write_payload);
+  EXPECT_EQ(payload.size(), 100u);
+  EXPECT_NE(payload, std::string(100, 'x'));
+}
+
+TEST_F(FaultInjectorTest, ScopedFaultDisarmsOnExit) {
+  {
+    ScopedFault fault("scoped", FaultSpec{});
+    EXPECT_TRUE(Faults().armed());
+  }
+  EXPECT_FALSE(Faults().armed());
+  EXPECT_TRUE(Faults().InjectOp("scoped").ok());
+}
+
+// ---------- RetryPolicy ----------
+
+TEST(RetryPolicyTest, SucceedsAfterTransientFailures) {
+  RetryPolicy::Options opts;
+  opts.max_attempts = 4;
+  std::vector<double> sleeps;
+  RetryPolicy policy(opts, [&](double ms) { sleeps.push_back(ms); });
+  MetricsRegistry metrics;
+  int calls = 0;
+  Status s = policy.Run(
+      "op",
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::IOError("transient") : Status::OK();
+      },
+      &metrics);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(metrics.counter("retry.attempts"), 2);
+  EXPECT_EQ(policy.total_retries(), 2u);
+}
+
+TEST(RetryPolicyTest, DoesNotRetryNonRetryable) {
+  RetryPolicy policy(RetryPolicy::Options{}, [](double) {});
+  int calls = 0;
+  Status s = policy.Run("op", [&] {
+    ++calls;
+    return Status::Corruption("bad bytes");
+  });
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicyTest, GivesUpAfterMaxAttempts) {
+  RetryPolicy::Options opts;
+  opts.max_attempts = 3;
+  RetryPolicy policy(opts, [](double) {});
+  int calls = 0;
+  Status s = policy.Run("op", [&] {
+    ++calls;
+    return Status::IOError("always");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryPolicyTest, CustomPredicateWidensRetries) {
+  RetryPolicy::Options opts;
+  opts.max_attempts = 2;
+  RetryPolicy policy(opts, [](double) {});
+  int calls = 0;
+  Status s = policy.Run(
+      "op",
+      [&] {
+        ++calls;
+        return calls < 2 ? Status::Corruption("rebuildable") : Status::OK();
+      },
+      nullptr, [](const Status& st) { return st.IsCorruption(); });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryPolicyTest, BackoffGrowsAndIsCapped) {
+  RetryPolicy::Options opts;
+  opts.initial_backoff_ms = 10.0;
+  opts.backoff_multiplier = 2.0;
+  opts.max_backoff_ms = 35.0;
+  opts.jitter_fraction = 0.0;
+  RetryPolicy policy(opts, [](double) {});
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(1), 10.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(2), 20.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(3), 35.0);  // capped
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(4), 35.0);
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinBounds) {
+  RetryPolicy::Options opts;
+  opts.initial_backoff_ms = 100.0;
+  opts.max_backoff_ms = 1000.0;
+  opts.jitter_fraction = 0.2;
+  RetryPolicy policy(opts, [](double) {});
+  for (int i = 0; i < 32; ++i) {
+    const double b = policy.BackoffMs(1);
+    EXPECT_GE(b, 80.0);
+    EXPECT_LE(b, 120.0);
+  }
+}
+
+}  // namespace
+}  // namespace saga

@@ -2,8 +2,10 @@
 
 #include <map>
 
+#include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/rng.h"
+#include "common/serialization.h"
 #include "storage/kv_store.h"
 
 namespace saga::storage {
@@ -289,6 +291,295 @@ TEST_P(KvStoreModelTest, MatchesReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(MemtableBudgets, KvStoreModelTest,
                          ::testing::Values(512, 4096, 1 << 20));
+
+// ---------- Crash-safety and recovery ----------
+
+class KvStoreRecoveryTest : public KvStoreTest {
+ protected:
+  void TearDown() override {
+    Faults().DisarmAll();
+    KvStoreTest::TearDown();
+  }
+
+  /// Names (not paths) of regular files currently in the store dir.
+  std::vector<std::string> Files() {
+    auto names = ListDir(dir_);
+    return names.ok() ? *names : std::vector<std::string>{};
+  }
+
+  bool HasFileWithSuffix(const std::string& suffix) {
+    for (const auto& name : Files()) {
+      if (name.size() >= suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+TEST_F(KvStoreRecoveryTest, CorruptTableIsQuarantinedNotFatal) {
+  std::string table_path;
+  {
+    auto store = KvStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("keep", "v1").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    ASSERT_TRUE((*store)->Put("lost", "v2").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    table_path = JoinPath(dir_, "sst_00000001.sst");
+  }
+  // Flip a byte in the entries region (always covered by the data CRC).
+  auto data = ReadFileToString(table_path);
+  ASSERT_TRUE(data.ok());
+  (*data)[2] ^= 0xFF;
+  ASSERT_TRUE(WriteStringToFile(table_path, *data).ok());
+
+  MetricsRegistry metrics;
+  KvStore::Options opts;
+  opts.metrics = &metrics;
+  auto reopened = KvStore::Open(dir_, opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->recovery_stats().sstables_quarantined, 1u);
+  EXPECT_EQ(metrics.counter("sst.quarantined"), 1);
+  EXPECT_TRUE(HasFileWithSuffix(".quarantined"));
+  // Data in the healthy table still serves; the corrupt table's data is
+  // gone but the store is open and writable.
+  EXPECT_EQ((*reopened)->Get("keep").value(), "v1");
+  EXPECT_TRUE((*reopened)->Get("lost").status().IsNotFound());
+  EXPECT_TRUE((*reopened)->Put("new", "v3").ok());
+}
+
+TEST_F(KvStoreRecoveryTest, NonManifestTableIsQuarantinedAsOrphan) {
+  {
+    auto store = KvStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("a", "1").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // A table that exists on disk but was never committed to the
+  // manifest — the state a crash between table rename and manifest
+  // write leaves behind.
+  auto good = ReadFileToString(JoinPath(dir_, "sst_00000000.sst"));
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(
+      WriteStringToFile(JoinPath(dir_, "sst_00000099.sst"), *good).ok());
+
+  auto reopened = KvStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->recovery_stats().orphans_quarantined, 1u);
+  EXPECT_EQ((*reopened)->num_sstables(), 1u);
+  EXPECT_TRUE(HasFileWithSuffix(".quarantined"));
+  EXPECT_EQ((*reopened)->Get("a").value(), "1");
+}
+
+TEST_F(KvStoreRecoveryTest, MalformedSstNamesAreSkippedWithoutSeqCollision) {
+  {
+    auto store = KvStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("a", "1").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // Names that a lenient strtoull parse would read as seq 0, colliding
+  // with the real sst_00000000.sst.
+  ASSERT_TRUE(WriteStringToFile(JoinPath(dir_, "sst_junk.sst"), "x").ok());
+  ASSERT_TRUE(WriteStringToFile(JoinPath(dir_, "sst_12x.sst"), "x").ok());
+
+  auto reopened = KvStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->recovery_stats().malformed_names_skipped, 2u);
+  EXPECT_EQ((*reopened)->Get("a").value(), "1");
+  // New flushes must not collide with the skipped names' fake seq.
+  ASSERT_TRUE((*reopened)->Put("b", "2").ok());
+  ASSERT_TRUE((*reopened)->Flush().ok());
+  EXPECT_EQ((*reopened)->Get("b").value(), "2");
+}
+
+TEST_F(KvStoreRecoveryTest, LeftoverTmpFilesAreRemoved) {
+  {
+    auto store = KvStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("a", "1").ok());
+  }
+  // A crash mid-build leaves a partially written temp file behind.
+  ASSERT_TRUE(
+      AppendToFile(JoinPath(dir_, "sst_00000007.sst.tmp"), "partial").ok());
+  auto reopened = KvStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->recovery_stats().tmp_files_removed, 1u);
+  EXPECT_FALSE(FileExists(JoinPath(dir_, "sst_00000007.sst.tmp")));
+  EXPECT_EQ((*reopened)->Get("a").value(), "1");
+}
+
+TEST_F(KvStoreRecoveryTest, BadWalOpStopsReplayAndCountsDrops) {
+  const std::string wal_path = JoinPath(dir_, "wal.log");
+  {
+    WalWriter wal(wal_path);
+    ASSERT_TRUE(wal.Open().ok());
+    auto record = [](uint8_t op, std::string_view k, std::string_view v) {
+      std::string rec;
+      BinaryWriter w(&rec);
+      w.PutU8(op);
+      w.PutString(k);
+      w.PutString(v);
+      return rec;
+    };
+    ASSERT_TRUE(wal.Append(record(1, "a", "1")).ok());   // valid put
+    ASSERT_TRUE(wal.Append(record(9, "b", "2")).ok());   // unknown op
+    ASSERT_TRUE(wal.Append(record(1, "c", "3")).ok());   // unreachable
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  MetricsRegistry metrics;
+  KvStore::Options opts;
+  opts.metrics = &metrics;
+  auto store = KvStore::Open(dir_, opts);
+  ASSERT_TRUE(store.ok()) << store.status();
+  const auto& rs = (*store)->recovery_stats();
+  EXPECT_EQ(rs.wal_records_replayed, 1u);
+  EXPECT_EQ(rs.wal_records_dropped, 2u);
+  EXPECT_GT(rs.wal_bytes_dropped, 0u);
+  EXPECT_EQ(metrics.counter("wal.records_dropped"), 2);
+  EXPECT_EQ((*store)->Get("a").value(), "1");
+  EXPECT_TRUE((*store)->Get("c").status().IsNotFound());
+}
+
+TEST_F(KvStoreRecoveryTest, TornWalTailIsTruncatedSoLaterWritesSurvive) {
+  KvStore::Options opts;
+  opts.sync_every_write = true;
+  {
+    auto store = KvStore::Open(dir_, opts);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("a", "1").ok());
+  }
+  // Torn tail: garbage after the last intact record.
+  ASSERT_TRUE(AppendToFile(JoinPath(dir_, "wal.log"), "\x13garbage").ok());
+  {
+    auto store = KvStore::Open(dir_, opts);
+    ASSERT_TRUE(store.ok());
+    EXPECT_GT((*store)->recovery_stats().wal_bytes_dropped, 0u);
+    EXPECT_EQ((*store)->Get("a").value(), "1");
+    // Regression: these appends must not land *behind* the torn bytes,
+    // where every future replay would stop short of them.
+    ASSERT_TRUE((*store)->Put("b", "2").ok());
+  }
+  auto store = KvStore::Open(dir_, opts);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->recovery_stats().wal_bytes_dropped, 0u);
+  EXPECT_EQ((*store)->Get("a").value(), "1");
+  EXPECT_EQ((*store)->Get("b").value(), "2");
+}
+
+TEST_F(KvStoreRecoveryTest, CompactionSurvivesFailedOldTableRemoval) {
+  auto store = KvStore::Open(dir_, SmallMemtable());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("a", "1").ok());
+  ASSERT_TRUE((*store)->Put("b", "2").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Delete("b").ok());
+  ASSERT_TRUE((*store)->Put("c", "3").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_EQ((*store)->num_sstables(), 2u);
+
+  // Crash window: the merged table and manifest commit, then removal
+  // of the replaced tables fails.
+  FaultSpec spec;
+  spec.fail_nth = 0;
+  spec.repeat = true;
+  Faults().Arm("file.remove", spec);
+  ASSERT_TRUE((*store)->CompactAll().ok());
+  Faults().DisarmAll();
+  EXPECT_EQ((*store)->num_sstables(), 1u);
+  EXPECT_EQ((*store)->pending_gc(), 2u);
+  // Reads already honour the committed table set: the tombstone for
+  // "b" was dropped and the stale tables are not consulted.
+  EXPECT_EQ((*store)->Get("a").value(), "1");
+  EXPECT_TRUE((*store)->Get("b").status().IsNotFound());
+  EXPECT_EQ((*store)->Get("c").value(), "3");
+
+  // A later compaction sweeps the leftovers.
+  ASSERT_TRUE((*store)->CompactAll().ok());
+  EXPECT_EQ((*store)->pending_gc(), 0u);
+  EXPECT_FALSE(FileExists(JoinPath(dir_, "sst_00000000.sst")));
+  EXPECT_FALSE(FileExists(JoinPath(dir_, "sst_00000001.sst")));
+  EXPECT_EQ((*store)->Get("a").value(), "1");
+  EXPECT_TRUE((*store)->Get("b").status().IsNotFound());
+}
+
+TEST_F(KvStoreRecoveryTest, StaleTablesAfterCrashDoNotResurrectTombstones) {
+  KvStore::Options opts = SmallMemtable();
+  {
+    auto store = KvStore::Open(dir_, opts);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("a", "1").ok());
+    ASSERT_TRUE((*store)->Put("b", "2").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    ASSERT_TRUE((*store)->Delete("b").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    // Compact with removal failing: process "dies" with the stale
+    // pre-compaction tables still on disk.
+    FaultSpec spec;
+    spec.fail_nth = 0;
+    spec.repeat = true;
+    Faults().Arm("file.remove", spec);
+    ASSERT_TRUE((*store)->CompactAll().ok());
+    Faults().DisarmAll();
+  }
+  // Reopen: the stale tables are orphans (not in the manifest); if they
+  // were loaded, the dropped tombstone for "b" would resurrect value 2.
+  auto reopened = KvStore::Open(dir_, opts);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->recovery_stats().orphans_quarantined, 2u);
+  EXPECT_EQ((*reopened)->Get("a").value(), "1");
+  EXPECT_TRUE((*reopened)->Get("b").status().IsNotFound());
+}
+
+TEST_F(KvStoreRecoveryTest, FailedManifestWriteRollsBackFlush) {
+  KvStore::Options opts;
+  opts.retry.max_attempts = 1;
+  auto store = KvStore::Open(dir_, opts);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("a", "1").ok());
+
+  FaultSpec spec;
+  spec.fail_nth = 2;  // table's own rename succeeds; manifest's fails
+  Faults().Arm("file.rename", spec);
+  EXPECT_FALSE((*store)->Flush().ok());
+  Faults().DisarmAll();
+  // The flush failed before the manifest committed: memtable and WAL
+  // are still the source of truth and the key still serves.
+  EXPECT_EQ((*store)->num_sstables(), 0u);
+  EXPECT_EQ((*store)->Get("a").value(), "1");
+  // The store keeps working; a later flush succeeds.
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ((*store)->num_sstables(), 1u);
+  EXPECT_EQ((*store)->Get("a").value(), "1");
+}
+
+TEST_F(KvStoreRecoveryTest, TransientOpenFaultIsRetriedNotQuarantined) {
+  {
+    auto store = KvStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("a", "1").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  MetricsRegistry metrics;
+  KvStore::Options opts;
+  opts.retry.max_attempts = 3;
+  opts.retry.initial_backoff_ms = 0.0;
+  opts.retry.max_backoff_ms = 0.0;
+  opts.metrics = &metrics;
+  FaultSpec spec;
+  spec.fail_nth = 1;  // first open attempt fails, retry succeeds
+  Faults().Arm("sst.open", spec);
+  auto reopened = KvStore::Open(dir_, opts);
+  Faults().DisarmAll();
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->recovery_stats().sstables_quarantined, 0u);
+  EXPECT_EQ((*reopened)->recovery_stats().sstables_loaded, 1u);
+  EXPECT_GE(metrics.counter("retry.attempts"), 1);
+  EXPECT_EQ((*reopened)->Get("a").value(), "1");
+}
 
 }  // namespace
 }  // namespace saga::storage

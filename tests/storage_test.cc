@@ -135,6 +135,44 @@ TEST_F(WalTest, CorruptPayloadStopsReplay) {
   EXPECT_EQ((*records)[0], "first");
 }
 
+TEST_F(WalTest, DetailedReadReportsDroppedBytes) {
+  const std::string path = JoinPath(dir_, "detail.log");
+  {
+    WalWriter wal(path);
+    ASSERT_TRUE(wal.Open().ok());
+    ASSERT_TRUE(wal.Append("one").ok());
+    ASSERT_TRUE(wal.Append("two").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  auto clean = ReadWalRecordsDetailed(path);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->records.size(), 2u);
+  EXPECT_TRUE(clean->clean);
+  EXPECT_EQ(clean->bytes_dropped, 0u);
+
+  ASSERT_TRUE(AppendToFile(path, "torn!").ok());
+  auto torn = ReadWalRecordsDetailed(path);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_EQ(torn->records.size(), 2u);
+  EXPECT_FALSE(torn->clean);
+  EXPECT_EQ(torn->bytes_dropped, 5u);
+}
+
+TEST_F(WalTest, SyncedRecordsSurviveWithoutDestructorFlush) {
+  const std::string path = JoinPath(dir_, "sync.log");
+  auto* wal = new WalWriter(path);
+  ASSERT_TRUE(wal->Open().ok());
+  ASSERT_TRUE(wal->Append("durable").ok());
+  ASSERT_TRUE(wal->Sync().ok());
+  // After Sync the record must be on disk even though the writer is
+  // still open (nothing pending in the userspace buffer).
+  auto records = ReadWalRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], "durable");
+  delete wal;
+}
+
 TEST_F(WalTest, ResetTruncates) {
   const std::string path = JoinPath(dir_, "reset.log");
   WalWriter wal(path);
