@@ -25,6 +25,7 @@
 #include "websim/search_engine.h"
 
 int main() {
+  saga::bench::ObsSession obs_session;
   using namespace saga;
   using bench::Fmt;
   using bench::Table;

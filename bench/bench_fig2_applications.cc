@@ -301,6 +301,7 @@ void BenchEntityLinking(const Env& env) {
 }  // namespace saga
 
 int main() {
+  saga::bench::ObsSession obs_session;
   std::printf("F2: machine-learning applications of KG embeddings "
               "(paper Figure 2)\n");
   saga::Env env = saga::MakeEnv();

@@ -357,6 +357,7 @@ void BenchReasoningQueries(const kg::GeneratedKg& gen) {
 }  // namespace saga
 
 int main() {
+  saga::bench::ObsSession obs_session;
   std::printf("F3: embedding training & inference pipeline "
               "(paper Figure 3)\n");
   saga::kg::GeneratedKg gen = saga::MakeKg();

@@ -198,6 +198,7 @@ void BenchIncremental(Env env) {
 }  // namespace saga
 
 int main() {
+  saga::bench::ObsSession obs_session;
   std::printf("F4: web-scale semantic annotation (paper Figure 4)\n");
   saga::Env env = saga::MakeEnv();
   std::printf("KG: %zu entities; corpus: %zu docs\n",

@@ -285,6 +285,7 @@ void BenchCoverageGrowth(Env env) {
 }  // namespace saga
 
 int main() {
+  saga::bench::ObsSession obs_session;
   std::printf("F5: Open-Domain Knowledge Extraction (paper Figure 5)\n");
   saga::Env env = saga::MakeEnv();
   std::printf("KG: %zu entities / %zu triples; %zu withheld facts; "

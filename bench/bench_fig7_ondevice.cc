@@ -222,6 +222,7 @@ void BenchPrivateRetrieval() {
 }  // namespace saga
 
 int main() {
+  saga::bench::ObsSession obs_session;
   std::printf("F7: on-device personal knowledge (paper Figure 7 / §5)\n");
   saga::ondevice::DeviceDataConfig config;
   config.num_persons = 400;

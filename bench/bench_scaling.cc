@@ -47,6 +47,7 @@ World MakeWorld(int persons) {
 }  // namespace saga
 
 int main() {
+  saga::bench::ObsSession obs_session;
   using namespace saga;
   std::printf("Scaling sweep: per-unit cost vs world size (§3.1 claim: "
               "pipelines scale linearly)\n\n");

@@ -5,6 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace saga::bench {
 
 /// Minimal fixed-width table printer for paper-style result tables.
@@ -57,6 +60,32 @@ inline std::string Fmt(double v, int decimals = 3) {
 inline void Section(const char* title) {
   std::printf("\n=== %s ===\n\n", title);
 }
+
+/// Prints the observability surface accumulated so far: the per-stage
+/// span latency breakdown (inclusive/exclusive time) plus the full
+/// Prometheus-style metric dump (counters, gauges, latency quantiles).
+inline void PrintObsBreakdown() {
+  Section("per-stage latency breakdown (tracing spans)");
+  std::printf("%s", obs::SpanReport().c_str());
+  Section("metrics (obs::DumpAll)");
+  std::printf("%s", obs::DumpAll(obs::DumpFormat::kPrometheus).c_str());
+}
+
+/// RAII per-bench observability session: enables tracing and zeroes
+/// global metrics on entry; prints the per-stage breakdown on exit.
+/// Drop one at the top of main() in every bench binary.
+class ObsSession {
+ public:
+  ObsSession() {
+    obs::SetEnabled(true);
+    obs::Registry::Global().ResetAll();
+    obs::ClearTraces();
+    obs::SetTracingEnabled(true);
+  }
+  ~ObsSession() { PrintObsBreakdown(); }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+};
 
 }  // namespace saga::bench
 

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Lint metric and span names against the scheme documented in DESIGN.md
+# ("Observability"): every name passed to SAGA_COUNTER / SAGA_GAUGE /
+# SAGA_LATENCY / obs::ScopedSpan must have exactly three
+# lower_snake_case segments, `subsystem.component.metric`, and latency
+# histogram names must end in `_ns`.
+#
+# Legacy two-segment names that go through the per-run MetricsRegistry
+# (e.g. "retry.attempts") are grandfathered: this lint only inspects
+# obs macro / ScopedSpan call sites.
+#
+# Usage: scripts/check_metric_names.sh [repo-root]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+segment='[a-z0-9_]+'
+name_re="^${segment}\.${segment}\.${segment}$"
+status=0
+
+# Emit "file:line:name" for every literal passed to the given call.
+extract() {
+  local call="$1"
+  grep -rnoE "${call}\(\"[^\"]+\"" --include='*.cc' --include='*.h' \
+      src bench tools 2>/dev/null |
+    sed -E "s/${call}\(\"([^\"]+)\"/\1/"
+}
+
+check() {
+  local call="$1" extra_re="${2:-}"
+  local label="${call%% *}"  # strip the identifier regex from the message
+  while IFS= read -r hit; do
+    [ -n "$hit" ] || continue
+    local name="${hit##*:}"
+    local loc="${hit%:*}"
+    if ! [[ "$name" =~ $name_re ]]; then
+      echo "BAD NAME  ${loc}: ${label}(\"${name}\") — want subsystem.component.metric"
+      status=1
+    elif [ -n "$extra_re" ] && ! [[ "$name" =~ $extra_re ]]; then
+      echo "BAD NAME  ${loc}: ${label}(\"${name}\") — latency names must end in _ns"
+      status=1
+    fi
+  done < <(extract "$call")
+}
+
+check 'SAGA_COUNTER'
+check 'SAGA_GAUGE'
+check 'SAGA_LATENCY' '_ns$'
+check 'obs::ScopedSpan [a-zA-Z_]+'   # named locals: obs::ScopedSpan span("...")
+check 'obs::ScopedSpan'              # temporaries / ctor-style
+
+if [ "$status" -eq 0 ]; then
+  echo "check_metric_names: OK (all obs names follow subsystem.component.metric)"
+fi
+exit "$status"

@@ -1,5 +1,7 @@
 #include "annotation/annotator.h"
 
+#include "common/metrics.h"
+
 namespace saga::annotation {
 
 std::string_view DeploymentPresetName(DeploymentPreset preset) {
@@ -55,8 +57,10 @@ kg::TypeId Annotator::MostSpecificType(kg::EntityId id) const {
 }
 
 std::vector<Annotation> Annotator::Annotate(std::string_view text) const {
+  obs::ScopedLatency timer(SAGA_LATENCY("annotation.annotator.annotate_ns"));
   std::vector<Annotation> out;
   for (const Mention& mention : detector_.Detect(text)) {
+    SAGA_COUNTER("annotation.annotator.mentions").Add();
     std::vector<Candidate> cands = candidates_.Candidates(mention.surface);
     if (cands.empty()) continue;  // NIL mention
 
@@ -97,6 +101,7 @@ std::vector<Annotation> Annotator::Annotate(std::string_view text) const {
     }
     if (ann.score < options_.min_score) continue;
     ann.type = MostSpecificType(ann.entity);
+    SAGA_COUNTER("annotation.annotator.annotations").Add();
     out.push_back(std::move(ann));
   }
   return out;

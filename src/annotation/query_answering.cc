@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "text/tokenizer.h"
 
 namespace saga::annotation {
@@ -50,6 +52,9 @@ kg::PredicateId QueryAnswerer::ResolvePredicate(
 }
 
 QueryAnswerer::Answer QueryAnswerer::Ask(std::string_view query) const {
+  obs::ScopedSpan span("serving.qa.ask");
+  obs::ScopedLatency timer(SAGA_LATENCY("serving.qa.ask_ns"));
+  SAGA_COUNTER("serving.qa.queries").Add();
   Answer answer;
 
   // 1. Link the entity mention with full contextual annotation (the

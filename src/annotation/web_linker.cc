@@ -1,6 +1,8 @@
 #include "annotation/web_linker.h"
 
 #include "common/hash.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace saga::annotation {
 
@@ -69,30 +71,42 @@ IncrementalWebLinker::IncrementalWebLinker(const Annotator* annotator,
 
 IncrementalWebLinker::PassStats IncrementalWebLinker::AnnotateCorpus(
     const websim::WebCorpus& corpus) {
+  obs::ScopedSpan pass_span("annotation.linker.pass");
   PassStats stats;
   // Phase 1: decide what changed.
   std::vector<websim::DocId> work;
-  for (websim::DocId id = 0; id < corpus.size(); ++id) {
-    ++stats.docs_scanned;
-    auto seen = seen_versions_.find(id);
-    if (seen != seen_versions_.end() &&
-        seen->second == corpus.doc(id).version) {
-      ++stats.docs_skipped;
-    } else {
-      work.push_back(id);
+  {
+    obs::ScopedSpan span("annotation.linker.diff");
+    for (websim::DocId id = 0; id < corpus.size(); ++id) {
+      ++stats.docs_scanned;
+      auto seen = seen_versions_.find(id);
+      if (seen != seen_versions_.end() &&
+          seen->second == corpus.doc(id).version) {
+        ++stats.docs_skipped;
+      } else {
+        work.push_back(id);
+      }
     }
   }
 
   // Phase 2: annotate — per-document, independent, parallelizable.
   std::vector<AnnotatedDocument> results(work.size());
-  ParallelFor(pool_, work.size(), [&](size_t i) {
-    const websim::WebDocument& doc = corpus.doc(work[i]);
-    results[i].doc = work[i];
-    results[i].doc_version = doc.version;
-    results[i].annotations = annotator_->Annotate(doc.body);
-  });
+  {
+    obs::ScopedSpan span("annotation.linker.annotate");
+    ParallelFor(pool_, work.size(), [&](size_t i) {
+      const websim::WebDocument& doc = corpus.doc(work[i]);
+      results[i].doc = work[i];
+      results[i].doc_version = doc.version;
+      results[i].annotations = annotator_->Annotate(doc.body);
+    });
+  }
+  SAGA_COUNTER("annotation.linker.docs_annotated").Add(
+      static_cast<int64_t>(work.size()));
+  SAGA_COUNTER("annotation.linker.docs_skipped").Add(
+      static_cast<int64_t>(stats.docs_skipped));
 
   // Phase 3: apply to the index and KG on this thread.
+  obs::ScopedSpan apply_span("annotation.linker.apply");
   for (AnnotatedDocument& annotated : results) {
     const websim::WebDocument& doc = corpus.doc(annotated.doc);
     stats.annotations += annotated.annotations.size();

@@ -1,12 +1,23 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
+
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace saga {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+/// True when SAGA_MIN_LOG_LEVEL is set: the env override wins over
+/// programmatic SetMinLogLevel (so a user can force debug logs out of a
+/// bench that quiets itself).
+std::atomic<bool> g_env_forced{false};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,13 +37,43 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash ? slash + 1 : path;
 }
+
+void InitFromEnvOnce() {
+  static const bool initialized = [] {
+    const char* env = std::getenv("SAGA_MIN_LOG_LEVEL");
+    if (env == nullptr) return true;
+    if (auto level = ParseLogLevel(env)) {
+      g_min_level.store(static_cast<int>(*level));
+      g_env_forced.store(true);
+    }
+    return true;
+  }();
+  (void)initialized;
+}
 }  // namespace
 
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return std::nullopt;
+}
+
 void SetMinLogLevel(LogLevel level) {
+  InitFromEnvOnce();
+  if (g_env_forced.load()) return;
   g_min_level.store(static_cast<int>(level));
 }
 
 LogLevel GetMinLogLevel() {
+  InitFromEnvOnce();
   return static_cast<LogLevel>(g_min_level.load());
 }
 
@@ -40,8 +81,13 @@ namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-          << "] ";
+  // Monotonic seconds since process start + thread id, sharing the
+  // trace timebase so log lines line up with span start/end times.
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%12.6f T%02u %-5s %s:%d] ",
+                obs::MonotonicNowNs() / 1e9, obs::internal::ThreadId(),
+                LevelName(level), Basename(file), line);
+  stream_ << prefix;
 }
 
 LogMessage::~LogMessage() {

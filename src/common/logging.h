@@ -2,17 +2,24 @@
 #define SAGA_COMMON_LOGGING_H_
 
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace saga {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Process-wide minimum level; messages below it are discarded.
-/// Benches raise this to keep output clean.
+/// Benches raise this to keep output clean. The SAGA_MIN_LOG_LEVEL
+/// environment variable ("debug"/"info"/"warning"/"error" or 0-3),
+/// when set, overrides all programmatic calls.
 void SetMinLogLevel(LogLevel level);
 LogLevel GetMinLogLevel();
+
+/// Parses a level name or digit; nullopt when unrecognized.
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
 
 namespace internal_logging {
 

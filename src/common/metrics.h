@@ -1,10 +1,16 @@
 #ifndef SAGA_COMMON_METRICS_H_
 #define SAGA_COMMON_METRICS_H_
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace saga {
@@ -28,7 +34,14 @@ class Stopwatch {
 };
 
 /// Accumulates samples and reports count/mean/min/max/percentiles.
-/// Not thread-safe; each worker should own one and merge.
+///
+/// Threading contract (single-writer): Add()/Merge() must come from one
+/// thread at a time — each worker owns a private Histogram and the
+/// owner merges them. Once writes have quiesced, the accessors
+/// (Mean/Min/Max/Percentile/Summary) are safe to call concurrently from
+/// any number of reader threads: they never mutate state (an earlier
+/// version lazily sorted a `mutable` sample buffer inside const
+/// accessors, which raced under concurrent readers).
 class Histogram {
  public:
   void Add(double v) { samples_.push_back(v); }
@@ -46,40 +59,248 @@ class Histogram {
   std::string Summary() const;
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
-  void EnsureSorted() const;
+  std::vector<double> samples_;
 };
 
-/// Named counters + histograms for a pipeline run. Passive container:
-/// components increment; benches print.
-class MetricsRegistry {
+namespace obs {
+
+/// Process-wide kill switch: when disabled, counter/gauge/latency
+/// recording and span creation become cheap no-ops (one relaxed atomic
+/// load). Enabled by default.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+/// Small dense id for the calling thread (assigned on first use);
+/// shards counters and labels spans/log lines.
+uint32_t ThreadId();
+inline bool EnabledFast() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+}  // namespace internal
+
+/// Monotonically increasing counter. The hot path is one relaxed
+/// `fetch_add` on a cache-line-padded shard picked by thread id — no
+/// mutex, and no cross-core contention until more threads than shards
+/// touch the same counter.
+class Counter {
  public:
-  void IncrCounter(const std::string& name, int64_t delta = 1) {
-    counters_[name] += delta;
+  static constexpr uint32_t kShards = 8;
+
+  void Add(int64_t delta = 1) {
+    if (!internal::EnabledFast()) return;
+    shards_[internal::ThreadId() & (kShards - 1)].v.fetch_add(
+        delta, std::memory_order_relaxed);
   }
-  int64_t counter(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
   }
 
-  Histogram* histogram(const std::string& name) { return &histograms_[name]; }
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-write-wins instantaneous value (cache occupancy, hit rate, ...).
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!internal::EnabledFast()) return;
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+  double Value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void Reset() { bits_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Fixed-bucket log-scale latency histogram over nanoseconds: 4
+/// sub-buckets per power of two (<= 25% relative quantile error), all
+/// updates lock-free relaxed `fetch_add` — safe to Record() from any
+/// thread with no mutex on the sample path.
+class LatencyHistogram {
+ public:
+  /// 2 sub-bucket bits -> 4 sub-buckets per octave.
+  static constexpr int kSubBits = 2;
+  /// Values up to 2^40 ns (~18 min); larger clamps into the top bucket.
+  static constexpr int kNumBuckets = 40 << kSubBits;
+
+  void Record(uint64_t ns) {
+    if (!internal::EnabledFast()) return;
+    buckets_[BucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const;
+  uint64_t SumNs() const;
+  double MeanNs() const;
+  /// p in [0, 100]; bucket-midpoint estimate. 0 when empty.
+  double PercentileNs(double p) const;
+
+  /// Immutable bucket snapshot (counts per bucket) for merging and
+  /// export without holding up writers.
+  std::array<uint64_t, kNumBuckets> SnapshotBuckets() const;
+  /// Inclusive lower bound in ns of bucket `idx`.
+  static uint64_t BucketLowerNs(int idx);
+
+  /// e.g. "n=100 mean=1.2us p50=1.1us p99=3.0us".
+  std::string Summary() const;
+  void Reset();
+
+  static int BucketFor(uint64_t ns) {
+    if (ns < (1u << kSubBits)) return static_cast<int>(ns);
+    const int msb = 63 - std::countl_zero(ns);
+    const int sub =
+        static_cast<int>((ns >> (msb - kSubBits)) & ((1u << kSubBits) - 1));
+    const int idx = ((msb - 1) << kSubBits) + sub;
+    return idx < kNumBuckets ? idx : kNumBuckets - 1;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+/// RAII latency sample: records elapsed ns into a histogram on scope
+/// exit. Near-free when the subsystem is disabled.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHistogram& hist)
+      : hist_(internal::EnabledFast() ? &hist : nullptr),
+        start_(hist_ ? std::chrono::steady_clock::now()
+                     : std::chrono::steady_clock::time_point()) {}
+  ~ScopedLatency() {
+    if (hist_ == nullptr) return;
+    hist_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  LatencyHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+enum class DumpFormat { kPrometheus, kJson };
+
+/// Process-global metric registry. Lookup takes a mutex; call sites
+/// cache the returned reference (the SAGA_COUNTER / SAGA_GAUGE /
+/// SAGA_LATENCY macros do this with a function-local static), so the
+/// steady-state hot path never locks. Registered metrics live for the
+/// process lifetime — references never dangle.
+///
+/// Naming scheme (enforced by scripts/check_metric_names.sh):
+/// `subsystem.component.metric`, lower_snake_case segments, latency
+/// histograms end in `_ns`.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHistogram& latency(std::string_view name);
+
+  /// Prometheus-style text exposition: counters, gauges, and histogram
+  /// count/sum/quantile lines, sorted by name ('.' -> '_').
+  std::string DumpPrometheus() const;
+  /// One JSON object: {"counters":{...},"gauges":{...},"latency":{...}}.
+  std::string DumpJson() const;
+
+  /// Zeroes every registered metric (addresses stay valid). For tests
+  /// and per-run bench sessions.
+  void ResetAll();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      latencies_;
+};
+
+/// Platform-wide stats surface: the global registry in the requested
+/// format (benches, saga_cli stats, tests).
+std::string DumpAll(DumpFormat format = DumpFormat::kPrometheus);
+
+}  // namespace obs
+
+/// Named counters + histograms for one pipeline run. Since the obs
+/// rewrite this is a thin per-run view over the process-global
+/// subsystem: counter increments also land in `obs::Registry::Global()`
+/// (same name), so robustness counters from PR 1 show up in DumpAll()
+/// while per-run assertions keep reading the local copy. All mutating
+/// entry points are mutex-guarded; the accessors returning references
+/// are for after-run reporting once writers have quiesced.
+class MetricsRegistry {
+ public:
+  void IncrCounter(const std::string& name, int64_t delta = 1);
+  int64_t counter(const std::string& name) const;
+
+  /// Per-run histogram handle. The returned Histogram follows the
+  /// single-writer contract above; workers should own a local Histogram
+  /// and aggregate through MergeHistogram instead of sharing one.
+  Histogram* histogram(const std::string& name);
+  /// Merge-based aggregation path: folds a worker-local histogram into
+  /// the named per-run histogram under the registry lock.
+  void MergeHistogram(const std::string& name, const Histogram& h);
+
   const std::map<std::string, int64_t>& counters() const { return counters_; }
   const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
   }
 
   std::string Report() const;
-  void Clear() {
-    counters_.clear();
-    histograms_.clear();
-  }
+  void Clear();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, int64_t> counters_;
   std::map<std::string, Histogram> histograms_;
 };
 
 }  // namespace saga
+
+/// Cached global-metric accessors: first evaluation registers the
+/// metric, later ones reuse the reference (thread-safe function-local
+/// static). `name` must be a string literal following the
+/// `subsystem.component.metric` scheme.
+#define SAGA_COUNTER(name)                                       \
+  ([]() -> ::saga::obs::Counter& {                               \
+    static ::saga::obs::Counter& counter_ref =                   \
+        ::saga::obs::Registry::Global().counter(name);           \
+    return counter_ref;                                          \
+  }())
+
+#define SAGA_GAUGE(name)                                         \
+  ([]() -> ::saga::obs::Gauge& {                                 \
+    static ::saga::obs::Gauge& gauge_ref =                       \
+        ::saga::obs::Registry::Global().gauge(name);             \
+    return gauge_ref;                                            \
+  }())
+
+#define SAGA_LATENCY(name)                                       \
+  ([]() -> ::saga::obs::LatencyHistogram& {                      \
+    static ::saga::obs::LatencyHistogram& latency_ref =          \
+        ::saga::obs::Registry::Global().latency(name);           \
+    return latency_ref;                                          \
+  }())
 
 #endif  // SAGA_COMMON_METRICS_H_

@@ -1,0 +1,193 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "common/metrics.h"
+
+namespace saga::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+/// Completed root span trees, in completion order.
+struct TraceStore {
+  std::mutex mu;
+  std::vector<std::unique_ptr<SpanNode>> roots;
+};
+
+TraceStore& Store() {
+  static TraceStore* store = new TraceStore();
+  return *store;
+}
+
+/// Open spans of the current thread, outermost first. Raw pointers:
+/// ownership sits with the parent's children vector (or with the
+/// ScopedSpan for roots) until completion.
+thread_local std::vector<SpanNode*> t_span_stack;
+
+uint64_t ProcessStartNs() {
+  static const uint64_t start = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return start;
+}
+
+}  // namespace
+
+uint64_t MonotonicNowNs() {
+  const uint64_t now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return now - ProcessStartNs();
+}
+
+void SetTracingEnabled(bool enabled) {
+  ProcessStartNs();  // pin the timebase before the first span
+  g_tracing.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  if (!TracingEnabled()) return;
+  auto node = std::make_unique<SpanNode>();
+  node->name = std::string(name);
+  node->start_ns = MonotonicNowNs();
+  node->thread_id = internal::ThreadId();
+  node_ = node.get();
+  if (t_span_stack.empty()) {
+    root_ = std::move(node);  // tree ownership until completion
+  } else {
+    t_span_stack.back()->children.push_back(std::move(node));
+  }
+  t_span_stack.push_back(node_);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (node_ == nullptr) return;
+  node_->duration_ns = MonotonicNowNs() - node_->start_ns;
+  // Tracing may have been toggled mid-span; only pop if we are still
+  // the innermost open span of this thread.
+  if (!t_span_stack.empty() && t_span_stack.back() == node_) {
+    t_span_stack.pop_back();
+  }
+  if (root_ != nullptr) {
+    TraceStore& store = Store();
+    std::lock_guard<std::mutex> lock(store.mu);
+    store.roots.push_back(std::move(root_));
+  }
+}
+
+namespace {
+
+void Accumulate(const SpanNode& node,
+                std::map<std::string, SpanStats>& by_name) {
+  SpanStats& s = by_name[node.name];
+  s.name = node.name;
+  s.count += 1;
+  s.inclusive_ns += node.duration_ns;
+  uint64_t child_ns = 0;
+  for (const auto& child : node.children) {
+    child_ns += child->duration_ns;
+    Accumulate(*child, by_name);
+  }
+  s.exclusive_ns +=
+      node.duration_ns > child_ns ? node.duration_ns - child_ns : 0;
+}
+
+void EmitChromeEvents(const SpanNode& node, bool* first, std::string* out) {
+  if (!*first) *out += ",";
+  *first = false;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                "\"pid\":1,\"tid\":%u}",
+                node.name.c_str(), node.start_ns / 1e3, node.duration_ns / 1e3,
+                node.thread_id);
+  *out += buf;
+  for (const auto& child : node.children) {
+    EmitChromeEvents(*child, first, out);
+  }
+}
+
+}  // namespace
+
+std::vector<SpanStats> AggregateSpans() {
+  std::map<std::string, SpanStats> by_name;
+  {
+    TraceStore& store = Store();
+    std::lock_guard<std::mutex> lock(store.mu);
+    for (const auto& root : store.roots) Accumulate(*root, by_name);
+  }
+  std::vector<SpanStats> out;
+  out.reserve(by_name.size());
+  for (auto& [name, stats] : by_name) out.push_back(std::move(stats));
+  std::sort(out.begin(), out.end(), [](const SpanStats& a,
+                                       const SpanStats& b) {
+    return a.inclusive_ns > b.inclusive_ns;
+  });
+  return out;
+}
+
+std::string SpanReport() {
+  const std::vector<SpanStats> stats = AggregateSpans();
+  if (stats.empty()) return "(no spans collected)\n";
+  size_t name_width = 4;
+  for (const auto& s : stats) name_width = std::max(name_width, s.name.size());
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-*s %10s %14s %14s %8s\n",
+                static_cast<int>(name_width), "span", "count", "incl ms",
+                "excl ms", "excl %");
+  out += buf;
+  uint64_t total_excl = 0;
+  for (const auto& s : stats) total_excl += s.exclusive_ns;
+  for (const auto& s : stats) {
+    std::snprintf(buf, sizeof(buf), "%-*s %10llu %14.3f %14.3f %7.1f%%\n",
+                  static_cast<int>(name_width), s.name.c_str(),
+                  static_cast<unsigned long long>(s.count),
+                  s.inclusive_ns / 1e6, s.exclusive_ns / 1e6,
+                  total_excl == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(s.exclusive_ns) /
+                            static_cast<double>(total_excl));
+    out += buf;
+  }
+  return out;
+}
+
+std::string ChromeTraceJson() {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  {
+    TraceStore& store = Store();
+    std::lock_guard<std::mutex> lock(store.mu);
+    for (const auto& root : store.roots) {
+      EmitChromeEvents(*root, &first, &out);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void ClearTraces() {
+  TraceStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mu);
+  store.roots.clear();
+}
+
+size_t NumCollectedTraces() {
+  TraceStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mu);
+  return store.roots.size();
+}
+
+}  // namespace saga::obs

@@ -1,0 +1,78 @@
+#ifndef SAGA_COMMON_TRACE_H_
+#define SAGA_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace saga::obs {
+
+/// Nanoseconds on the steady clock since process start — the shared
+/// timebase for spans and log lines, so the two correlate.
+uint64_t MonotonicNowNs();
+
+/// Tracing is off by default (spans then cost one relaxed atomic load);
+/// benches, saga_cli stats, and tests turn it on for the run.
+void SetTracingEnabled(bool enabled);
+bool TracingEnabled();
+
+/// One completed timed region. Trees are owned by the global trace
+/// store once their root span finishes.
+struct SpanNode {
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  uint32_t thread_id = 0;
+  std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+/// RAII tracing span. Spans started while another span is open on the
+/// same thread nest under it (thread-local span stack); when a root
+/// span closes, its finished tree moves into the process-global trace
+/// store, where the export functions below read it.
+///
+/// Span names follow the metric scheme: `subsystem.component.stage`.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanNode* node_ = nullptr;          // null when tracing was disabled
+  std::unique_ptr<SpanNode> root_;    // set only for root spans
+};
+
+/// Aggregated per-name timing across all collected span trees.
+/// Exclusive time is inclusive minus the inclusive time of direct
+/// children — "where did the time actually go".
+struct SpanStats {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t inclusive_ns = 0;
+  uint64_t exclusive_ns = 0;
+};
+
+/// Sorted by inclusive time, descending.
+std::vector<SpanStats> AggregateSpans();
+
+/// Fixed-width inclusive/exclusive-time table of AggregateSpans().
+std::string SpanReport();
+
+/// Chrome trace_event JSON ("X" complete events, ts/dur in us). Load in
+/// chrome://tracing or Perfetto.
+std::string ChromeTraceJson();
+
+/// Drops all collected span trees (not in-flight spans).
+void ClearTraces();
+
+/// Number of completed root trees currently collected.
+size_t NumCollectedTraces();
+
+}  // namespace saga::obs
+
+#endif  // SAGA_COMMON_TRACE_H_

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace saga::embedding {
 
 double Softplus(double x) {
@@ -130,6 +133,9 @@ TrainedEmbeddings InMemoryTrainer::TrainEdgesFrom(
   NegativeSampler sampler(view, config_.filtered_negatives);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("embedding.trainer.epoch");
+    obs::ScopedLatency epoch_timer(SAGA_LATENCY("embedding.trainer.epoch_ns"));
+    SAGA_COUNTER("embedding.trainer.epochs").Add();
     rng.Shuffle(&train);
     double epoch_loss = 0.0;
     bool corrupt_tail = true;

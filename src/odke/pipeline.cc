@@ -2,6 +2,9 @@
 
 #include <set>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace saga::odke {
 
 OdkePipeline::OdkePipeline(kg::KnowledgeGraph* kg,
@@ -34,19 +37,25 @@ std::vector<CandidateFact> OdkePipeline::ExtractCandidates(
   // 1. Targeted retrieval (Fig 5: Query Synthesizer + Web Search) or a
   //    full corpus scan for the ablation.
   std::set<websim::DocId> doc_ids;
-  if (options_.targeted_search) {
-    for (const std::string& query : synthesizer_.Synthesize(gap)) {
-      for (const auto& hit :
-           search_->Search(query, options_.docs_per_query)) {
-        doc_ids.insert(hit.doc);
+  {
+    obs::ScopedSpan span("odke.pipeline.search");
+    if (options_.targeted_search) {
+      for (const std::string& query : synthesizer_.Synthesize(gap)) {
+        for (const auto& hit :
+             search_->Search(query, options_.docs_per_query)) {
+          doc_ids.insert(hit.doc);
+        }
       }
-    }
-  } else {
-    for (websim::DocId id = 0; id < corpus_->size(); ++id) {
-      doc_ids.insert(id);
+    } else {
+      for (websim::DocId id = 0; id < corpus_->size(); ++id) {
+        doc_ids.insert(id);
+      }
     }
   }
   if (docs_fetched != nullptr) *docs_fetched = doc_ids.size();
+  SAGA_COUNTER("odke.pipeline.docs_fetched").Add(
+      static_cast<int64_t>(doc_ids.size()));
+  obs::ScopedSpan extract_span("odke.pipeline.extract");
 
   // 2. Per-document extraction with both extractor families, scoring
   //    each source document against the subject's KG context (its
@@ -94,6 +103,8 @@ std::vector<CandidateFact> OdkePipeline::ExtractCandidates(
 }
 
 GapResult OdkePipeline::HarvestGap(const FactGap& gap) const {
+  obs::ScopedSpan span("odke.pipeline.harvest_gap");
+  obs::ScopedLatency timer(SAGA_LATENCY("odke.pipeline.harvest_ns"));
   GapResult result;
   result.gap = gap;
   std::vector<CandidateFact> candidates =
@@ -101,6 +112,7 @@ GapResult OdkePipeline::HarvestGap(const FactGap& gap) const {
   result.candidates_extracted = candidates.size();
   if (candidates.empty()) return result;
 
+  obs::ScopedSpan corroborate_span("odke.pipeline.corroborate");
   const std::vector<ValueGroup> groups = GroupByValue(candidates);
   result.value_groups = groups.size();
   Corroborator corroborator(model_, options_.corroborator);
@@ -115,14 +127,17 @@ GapResult OdkePipeline::HarvestGap(const FactGap& gap) const {
 }
 
 OdkeRunStats OdkePipeline::Run(const std::vector<FactGap>& gaps) {
+  obs::ScopedSpan span("odke.pipeline.run");
   OdkeRunStats stats;
   for (const FactGap& gap : gaps) {
     ++stats.gaps_processed;
+    SAGA_COUNTER("odke.pipeline.gaps_processed").Add();
     const GapResult result = HarvestGap(gap);
     stats.docs_fetched += result.docs_fetched;
     stats.candidates_extracted += result.candidates_extracted;
     if (!result.filled) continue;
     ++stats.gaps_filled;
+    SAGA_COUNTER("odke.pipeline.gaps_filled").Add();
     if (gap.reason == GapReason::kStale &&
         gap.stale_triple != kg::kInvalidTripleIdx) {
       kg_->triples().Remove(gap.stale_triple);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/serialization.h"
+#include "common/trace.h"
 #include "ondevice/blocking.h"
 
 namespace saga::ondevice {
@@ -29,29 +31,57 @@ size_t IncrementalPipeline::ApproxStateBytes() const {
   return bytes;
 }
 
-size_t IncrementalPipeline::RunSteps(size_t max_steps) {
-  size_t executed = 0;
-  while (executed < max_steps && stage_ != Stage::kDone) {
-    switch (stage_) {
-      case Stage::kIngest:
-        StepIngest();
-        break;
-      case Stage::kBlock:
-        StepBlock();
-        break;
-      case Stage::kMatch:
-        StepMatch();
-        break;
-      case Stage::kFuse:
-        StepFuse();
-        break;
-      case Stage::kDone:
-        break;
-    }
-    ++executed;
-    ++steps_executed_;
-    TrackPeak();
+namespace {
+const char* StageSpanName(IncrementalPipeline::Stage stage) {
+  switch (stage) {
+    case IncrementalPipeline::Stage::kIngest:
+      return "ondevice.pipeline.ingest";
+    case IncrementalPipeline::Stage::kBlock:
+      return "ondevice.pipeline.block";
+    case IncrementalPipeline::Stage::kMatch:
+      return "ondevice.pipeline.match";
+    case IncrementalPipeline::Stage::kFuse:
+      return "ondevice.pipeline.fuse";
+    case IncrementalPipeline::Stage::kDone:
+      break;
   }
+  return "ondevice.pipeline.done";
+}
+}  // namespace
+
+size_t IncrementalPipeline::RunSteps(size_t max_steps) {
+  obs::ScopedSpan call_span("ondevice.pipeline.run_steps");
+  size_t executed = 0;
+  // Work units are fine-grained (one record / one pair), so spans wrap
+  // each contiguous run of a stage within this call, not each step.
+  while (executed < max_steps && stage_ != Stage::kDone) {
+    const Stage current = stage_;
+    obs::ScopedSpan stage_span(StageSpanName(current));
+    while (executed < max_steps && stage_ == current) {
+      switch (stage_) {
+        case Stage::kIngest:
+          StepIngest();
+          break;
+        case Stage::kBlock:
+          StepBlock();
+          break;
+        case Stage::kMatch:
+          StepMatch();
+          break;
+        case Stage::kFuse:
+          StepFuse();
+          break;
+        case Stage::kDone:
+          break;
+      }
+      ++executed;
+      ++steps_executed_;
+      TrackPeak();
+    }
+  }
+  SAGA_COUNTER("ondevice.pipeline.steps").Add(static_cast<int64_t>(executed));
+  SAGA_GAUGE("ondevice.pipeline.state_bytes")
+      .Set(static_cast<double>(ApproxStateBytes()));
   return executed;
 }
 

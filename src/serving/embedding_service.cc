@@ -5,6 +5,8 @@
 #include "ann/quantized_index.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace saga::serving {
 
@@ -113,6 +115,8 @@ bool EmbeddingService::PassesTypeFilter(kg::EntityId id,
 Result<std::vector<std::pair<kg::EntityId, double>>>
 EmbeddingService::TopKNeighbors(kg::EntityId id, size_t k,
                                 kg::TypeId type_filter) const {
+  obs::ScopedSpan span("serving.embedding.topk_neighbors");
+  obs::ScopedLatency timer(SAGA_LATENCY("serving.embedding.topk_ns"));
   SAGA_ASSIGN_OR_RETURN(std::vector<float> query, GetEmbedding(id));
   auto hits = TopKForVector(query, k + 1, type_filter);
   std::vector<std::pair<kg::EntityId, double>> out;
@@ -127,6 +131,8 @@ EmbeddingService::TopKNeighbors(kg::EntityId id, size_t k,
 std::vector<std::pair<kg::EntityId, double>> EmbeddingService::TopKForVector(
     const std::vector<float>& query, size_t k,
     kg::TypeId type_filter) const {
+  obs::ScopedLatency timer(SAGA_LATENCY("serving.embedding.search_ns"));
+  SAGA_COUNTER("serving.embedding.searches").Add();
   // Over-fetch when filtering so enough survivors remain.
   const size_t fetch = type_filter.valid() ? k * 8 + 16 : k;
   std::vector<std::pair<kg::EntityId, double>> out;

@@ -1,5 +1,6 @@
 #include "serving/kv_cache.h"
 
+#include "common/metrics.h"
 #include "common/serialization.h"
 
 namespace saga::serving {
@@ -50,20 +51,45 @@ Status EmbeddingKvCache::Put(kg::EntityId id, const std::vector<float>& vec) {
 }
 
 Result<std::vector<float>> EmbeddingKvCache::Get(kg::EntityId id) {
+  obs::ScopedLatency timer(SAGA_LATENCY("serving.kv_cache.get_ns"));
   std::lock_guard<std::mutex> lock(mu_);
   const std::string key = KeyFor(id);
   if (auto cached = lru_.Get(key)) {
     ++stats_.memory_hits;
+    SAGA_COUNTER("serving.kv_cache.memory_hits").Add();
+    UpdateHitRateGauges();
     return Decode(*cached);
   }
   auto from_disk = kv_->Get(key);
   if (!from_disk.ok()) {
     ++stats_.misses;
+    SAGA_COUNTER("serving.kv_cache.misses").Add();
+    UpdateHitRateGauges();
     return from_disk.status();
   }
   ++stats_.disk_hits;
+  SAGA_COUNTER("serving.kv_cache.disk_hits").Add();
   lru_.Put(key, from_disk.value());
+  UpdateHitRateGauges();
   return Decode(from_disk.value());
+}
+
+void EmbeddingKvCache::UpdateHitRateGauges() {
+  // Called under mu_. Overall hit rate counts both tiers as hits; the
+  // LRU gauge isolates the in-memory tier.
+  const uint64_t lookups =
+      stats_.memory_hits + stats_.disk_hits + stats_.misses;
+  if (lookups > 0) {
+    SAGA_GAUGE("serving.kv_cache.hit_rate")
+        .Set(static_cast<double>(stats_.memory_hits + stats_.disk_hits) /
+             static_cast<double>(lookups));
+  }
+  const uint64_t lru_lookups = lru_.hits() + lru_.misses();
+  if (lru_lookups > 0) {
+    SAGA_GAUGE("serving.lru_cache.hit_rate")
+        .Set(static_cast<double>(lru_.hits()) /
+             static_cast<double>(lru_lookups));
+  }
 }
 
 }  // namespace saga::serving

@@ -46,6 +46,10 @@ class EmbeddingKvCache {
                    size_t memory_budget_bytes)
       : kv_(std::move(kv)), lru_(memory_budget_bytes) {}
 
+  /// Refreshes the serving.kv_cache / serving.lru_cache hit-rate
+  /// gauges from the running tallies (caller holds mu_).
+  void UpdateHitRateGauges();
+
   static std::string KeyFor(kg::EntityId id);
   static std::string Encode(const std::vector<float>& vec);
   static Result<std::vector<float>> Decode(const std::string& bytes);

@@ -10,6 +10,7 @@
 #include "common/file_util.h"
 #include "common/logging.h"
 #include "common/serialization.h"
+#include "common/trace.h"
 
 namespace saga::storage {
 
@@ -330,6 +331,7 @@ Status KvStore::LogOp(uint8_t op, std::string_view key,
 
 Status KvStore::Put(std::string_view key, std::string_view value) {
   if (key.empty()) return Status::InvalidArgument("empty key");
+  obs::ScopedLatency timer(SAGA_LATENCY("storage.kv.put_ns"));
   SAGA_RETURN_IF_ERROR(LogOp(kOpPut, key, value));
   memtable_.Put(key, value);
   ++stats_.puts;
@@ -345,6 +347,7 @@ Status KvStore::Delete(std::string_view key) {
 }
 
 Result<std::string> KvStore::Get(std::string_view key) {
+  obs::ScopedLatency timer(SAGA_LATENCY("storage.kv.get_ns"));
   ++stats_.gets;
   if (auto entry = memtable_.Get(key)) {
     if (entry->is_tombstone) {
@@ -435,6 +438,8 @@ Result<std::shared_ptr<SSTableReader>> KvStore::BuildTableWithRetry(
 
 Status KvStore::Flush() {
   if (memtable_.empty()) return Status::OK();
+  obs::ScopedSpan span("storage.kv.flush");
+  obs::ScopedLatency timer(SAGA_LATENCY("storage.kv.flush_ns"));
   const std::string path = SstPath(next_sst_seq_++);
   SAGA_ASSIGN_OR_RETURN(std::shared_ptr<SSTableReader> reader,
                         BuildTableWithRetry(path, memtable_.entries()));
@@ -460,6 +465,7 @@ Status KvStore::Flush() {
 }
 
 Status KvStore::CompactAll() {
+  obs::ScopedSpan span("storage.kv.compact");
   // Retry removals a previous compaction could not complete.
   std::vector<std::string> still_pending;
   for (const auto& p : pending_gc_) {

@@ -1,0 +1,347 @@
+// Tests for the saga::obs observability subsystem: thread-safe metric
+// primitives, span-tree tracing, export formats, and the legacy
+// Histogram / MetricsRegistry thin-view contracts. The multi-threaded
+// cases are meant to run under the `tsan` CMake preset as well as
+// asan-ubsan (see CMakePresets.json).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace saga {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetEnabled(true);
+    obs::Registry::Global().ResetAll();
+    obs::ClearTraces();
+    obs::SetTracingEnabled(false);
+  }
+  void TearDown() override {
+    obs::SetTracingEnabled(false);
+    obs::ClearTraces();
+    obs::Registry::Global().ResetAll();
+  }
+};
+
+// ---------- Counter ----------
+
+TEST_F(ObsTest, CounterConcurrentIncrements) {
+  obs::Counter& c = SAGA_COUNTER("test.counter.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST_F(ObsTest, CounterDeltaAndReset) {
+  obs::Counter& c = SAGA_COUNTER("test.counter.delta");
+  c.Add(5);
+  c.Add(-2);
+  EXPECT_EQ(c.Value(), 3);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST_F(ObsTest, DisabledCounterIsNoop) {
+  obs::Counter& c = SAGA_COUNTER("test.counter.disabled");
+  obs::SetEnabled(false);
+  c.Add(100);
+  obs::SetEnabled(true);
+  EXPECT_EQ(c.Value(), 0);
+  c.Add(1);
+  EXPECT_EQ(c.Value(), 1);
+}
+
+TEST_F(ObsTest, MacroReturnsSameInstance) {
+  EXPECT_EQ(&SAGA_COUNTER("test.counter.same"),
+            &obs::Registry::Global().counter("test.counter.same"));
+}
+
+// ---------- Gauge ----------
+
+TEST_F(ObsTest, GaugeSetAndRead) {
+  obs::Gauge& g = SAGA_GAUGE("test.gauge.basic");
+  g.Set(0.75);
+  EXPECT_DOUBLE_EQ(g.Value(), 0.75);
+  g.Set(-3.5);
+  EXPECT_DOUBLE_EQ(g.Value(), -3.5);
+}
+
+TEST_F(ObsTest, GaugeConcurrentWritesLandOnOneValue) {
+  obs::Gauge& g = SAGA_GAUGE("test.gauge.concurrent");
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= 4; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < 10000; ++i) g.Set(static_cast<double>(t));
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double v = g.Value();
+  EXPECT_GE(v, 1.0);
+  EXPECT_LE(v, 4.0);
+}
+
+// ---------- LatencyHistogram ----------
+
+TEST_F(ObsTest, LatencyBucketBoundsRoundTrip) {
+  // Every value must land in a bucket whose [lower, next-lower) range
+  // contains it.
+  for (uint64_t v :
+       {uint64_t{0}, uint64_t{1}, uint64_t{3}, uint64_t{4}, uint64_t{7},
+        uint64_t{100}, uint64_t{1023}, uint64_t{65536}, uint64_t{999999999}}) {
+    const int idx = obs::LatencyHistogram::BucketFor(v);
+    EXPECT_GE(v, obs::LatencyHistogram::BucketLowerNs(idx)) << v;
+    if (idx + 1 < obs::LatencyHistogram::kNumBuckets) {
+      EXPECT_LT(v, obs::LatencyHistogram::BucketLowerNs(idx + 1)) << v;
+    }
+  }
+}
+
+TEST_F(ObsTest, LatencyPercentilesWithinBucketError) {
+  obs::LatencyHistogram& h = SAGA_LATENCY("test.latency.percentiles_ns");
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<uint64_t>(i * 1000));
+  EXPECT_EQ(h.Count(), 1000u);
+  EXPECT_EQ(h.SumNs(), uint64_t{500500} * 1000);
+  // Log-scale buckets guarantee <= 25% relative error.
+  EXPECT_NEAR(h.PercentileNs(50), 500e3, 0.25 * 500e3);
+  EXPECT_NEAR(h.PercentileNs(99), 990e3, 0.25 * 990e3);
+  EXPECT_NEAR(h.MeanNs(), 500.5e3, 1.0);
+}
+
+TEST_F(ObsTest, LatencyConcurrentRecords) {
+  obs::LatencyHistogram& h = SAGA_LATENCY("test.latency.concurrent_ns");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(100 + t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), uint64_t{kThreads} * kPerThread);
+}
+
+// ---------- Tracing ----------
+
+TEST_F(ObsTest, SpanTreeNesting) {
+  obs::SetTracingEnabled(true);
+  {
+    obs::ScopedSpan root("test.span.root");
+    {
+      obs::ScopedSpan child("test.span.child");
+      obs::ScopedSpan grandchild("test.span.grandchild");
+    }
+    obs::ScopedSpan sibling("test.span.child");
+  }
+  ASSERT_EQ(obs::NumCollectedTraces(), 1u);
+  const auto stats = obs::AggregateSpans();
+  ASSERT_EQ(stats.size(), 3u);
+  // Root has the largest inclusive time and sorts first.
+  EXPECT_EQ(stats[0].name, "test.span.root");
+  EXPECT_EQ(stats[0].count, 1u);
+  // The two "child" spans aggregate under one name.
+  bool found_child = false;
+  for (const auto& s : stats) {
+    if (s.name == "test.span.child") {
+      EXPECT_EQ(s.count, 2u);
+      found_child = true;
+      // Exclusive excludes the grandchild's time.
+      EXPECT_LE(s.exclusive_ns, s.inclusive_ns);
+    }
+  }
+  EXPECT_TRUE(found_child);
+}
+
+TEST_F(ObsTest, SpansDisabledCollectNothing) {
+  {
+    obs::ScopedSpan span("test.span.disabled");
+  }
+  EXPECT_EQ(obs::NumCollectedTraces(), 0u);
+  EXPECT_EQ(obs::AggregateSpans().size(), 0u);
+}
+
+TEST_F(ObsTest, ConcurrentRootSpansPerThread) {
+  obs::SetTracingEnabled(true);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 100; ++i) {
+        obs::ScopedSpan outer("test.span.thread_outer");
+        obs::ScopedSpan inner("test.span.thread_inner");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(obs::NumCollectedTraces(), uint64_t{kThreads} * 100);
+  for (const auto& s : obs::AggregateSpans()) {
+    EXPECT_EQ(s.count, uint64_t{kThreads} * 100) << s.name;
+  }
+}
+
+TEST_F(ObsTest, ChromeTraceJsonShape) {
+  obs::SetTracingEnabled(true);
+  {
+    obs::ScopedSpan root("test.span.chrome_root");
+    obs::ScopedSpan child("test.span.chrome_child");
+  }
+  const std::string json = obs::ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.span.chrome_root\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.span.chrome_child\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(ObsTest, SpanReportListsAllNames) {
+  obs::SetTracingEnabled(true);
+  {
+    obs::ScopedSpan root("test.span.report_root");
+    obs::ScopedSpan child("test.span.report_child");
+  }
+  const std::string report = obs::SpanReport();
+  EXPECT_NE(report.find("test.span.report_root"), std::string::npos);
+  EXPECT_NE(report.find("test.span.report_child"), std::string::npos);
+  EXPECT_NE(report.find("incl ms"), std::string::npos);
+}
+
+// ---------- Export formats ----------
+
+TEST_F(ObsTest, PrometheusExportGolden) {
+  SAGA_COUNTER("test.export.hits").Add(42);
+  SAGA_GAUGE("test.export.ratio").Set(0.5);
+  SAGA_LATENCY("test.export.lat_ns").Record(1000);
+  const std::string dump = obs::DumpAll(obs::DumpFormat::kPrometheus);
+  EXPECT_NE(dump.find("# TYPE saga_test_export_hits counter\n"
+                      "saga_test_export_hits 42\n"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("# TYPE saga_test_export_ratio gauge\n"
+                      "saga_test_export_ratio 0.5\n"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("saga_test_export_lat_ns_count 1\n"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("saga_test_export_lat_ns_sum 1000\n"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("saga_test_export_lat_ns{quantile=\"0.50\"}"),
+            std::string::npos)
+      << dump;
+}
+
+TEST_F(ObsTest, JsonExportGolden) {
+  SAGA_COUNTER("test.export.hits").Add(7);
+  SAGA_LATENCY("test.export.lat_ns").Record(2000);
+  const std::string dump = obs::DumpAll(obs::DumpFormat::kJson);
+  EXPECT_EQ(dump.front(), '{');
+  EXPECT_EQ(dump.back(), '}');
+  EXPECT_NE(dump.find("\"test.export.hits\":7"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"test.export.lat_ns\":{\"count\":1,\"sum\":2000"),
+            std::string::npos)
+      << dump;
+}
+
+// ---------- Legacy Histogram contract ----------
+
+TEST_F(ObsTest, HistogramSnapshotConcurrentReadsAreSafe) {
+  // Regression for the mutable-lazy-sort footgun: after writes
+  // quiesce, many threads may read percentiles concurrently. Under
+  // tsan the old implementation raced here (EnsureSorted mutated
+  // `mutable` state from const accessors).
+  Histogram h;
+  for (int i = 1000; i >= 1; --i) h.Add(static_cast<double>(i));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&h, &failures] {
+      for (int i = 0; i < 200; ++i) {
+        if (h.Percentile(50) != 500.5) failures.fetch_add(1);
+        if (h.Min() != 1.0) failures.fetch_add(1);
+        if (h.Max() != 1000.0) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ObsTest, MetricsRegistryMergeHistogramAggregation) {
+  // Merge-based aggregation: each worker owns a local histogram and
+  // folds it in under the registry lock.
+  MetricsRegistry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reg, t] {
+      Histogram local;
+      for (int i = 0; i < 100; ++i) {
+        local.Add(static_cast<double>(t * 100 + i));
+      }
+      reg.MergeHistogram("worker.latency", local);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.histograms().at("worker.latency").count(), 400u);
+}
+
+// ---------- MetricsRegistry thin view ----------
+
+TEST_F(ObsTest, MetricsRegistryMirrorsIntoGlobal) {
+  MetricsRegistry reg;
+  reg.IncrCounter("serving.degraded");
+  reg.IncrCounter("serving.degraded", 2);
+  EXPECT_EQ(reg.counter("serving.degraded"), 3);
+  EXPECT_EQ(obs::Registry::Global().counter("serving.degraded").Value(), 3);
+}
+
+TEST_F(ObsTest, MetricsRegistryConcurrentIncrements) {
+  MetricsRegistry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 1000; ++i) reg.IncrCounter("race.counter");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("race.counter"), 8000);
+}
+
+// ---------- Logging ----------
+
+TEST_F(ObsTest, ParseLogLevelNamesAndDigits) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("2"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("bogus"), std::nullopt);
+}
+
+TEST_F(ObsTest, MonotonicClockAdvances) {
+  const uint64_t a = obs::MonotonicNowNs();
+  const uint64_t b = obs::MonotonicNowNs();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace saga

@@ -1,7 +1,8 @@
 // saga_cli — command-line front end for KG snapshots.
 //
 //   saga_cli generate <out.kg> [num_persons]   build a synthetic KG
-//   saga_cli stats <kg>                         size + coverage report
+//   saga_cli stats <kg> [--obs] [--json]        size + coverage report
+//                                               (+ observability dump)
 //   saga_cli entity <kg> <name>                 entity record + facts
 //   saga_cli ask <kg> <query...>                question answering
 //   saga_cli annotate <kg> <text...>            semantic annotation
@@ -13,7 +14,9 @@
 
 #include "annotation/annotator.h"
 #include "annotation/query_answering.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "embedding/embedding_store.h"
 #include "graph_engine/view.h"
 #include "kg/kg_generator.h"
@@ -29,7 +32,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  saga_cli generate <out.kg> [num_persons]\n"
-               "  saga_cli stats <kg>\n"
+               "  saga_cli stats <kg> [--obs] [--json]\n"
                "  saga_cli entity <kg> <name>\n"
                "  saga_cli ask <kg> <query...>\n"
                "  saga_cli annotate <kg> <text...>\n"
@@ -71,9 +74,24 @@ int CmdGenerate(int argc, char** argv) {
   return 0;
 }
 
+/// `saga_cli stats <kg> [--obs] [--json]` — KG size/coverage report.
+/// --obs additionally traces the run and prints the platform-wide
+/// observability surface (span breakdown + Prometheus metrics); --json
+/// prints the metric dump as one JSON object instead.
 int CmdStats(int argc, char** argv) {
   if (argc < 3) return Usage();
-  auto kg = LoadKg(argv[2]);
+  bool show_obs = false;
+  bool json = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs") == 0) show_obs = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = show_obs = true;
+  }
+  obs::SetTracingEnabled(show_obs);
+
+  Result<kg::KnowledgeGraph> kg = [&] {
+    obs::ScopedSpan span("cli.stats.load_kg");
+    return LoadKg(argv[2]);
+  }();
   if (!kg.ok()) {
     std::fprintf(stderr, "%s\n", kg.status().ToString().c_str());
     return 1;
@@ -84,12 +102,25 @@ int CmdStats(int argc, char** argv) {
   std::printf("predicates: %zu\n", kg->ontology().num_predicates());
   std::printf("sources:    %zu\n", kg->num_sources());
   std::printf("\nper-predicate coverage of functional predicates:\n");
-  odke::KgProfiler profiler(&*kg);
-  for (const auto& meta : kg->ontology().predicates()) {
-    if (!meta.functional || !meta.domain.valid()) continue;
-    std::printf("  %-22s %.1f%% of %s\n", meta.name.c_str(),
-                100.0 * profiler.Coverage(meta.domain, meta.id),
-                kg->ontology().type_name(meta.domain).c_str());
+  {
+    obs::ScopedSpan span("cli.stats.coverage");
+    odke::KgProfiler profiler(&*kg);
+    for (const auto& meta : kg->ontology().predicates()) {
+      if (!meta.functional || !meta.domain.valid()) continue;
+      std::printf("  %-22s %.1f%% of %s\n", meta.name.c_str(),
+                  100.0 * profiler.Coverage(meta.domain, meta.id),
+                  kg->ontology().type_name(meta.domain).c_str());
+    }
+  }
+  if (show_obs) {
+    if (json) {
+      std::printf("\n%s\n", obs::DumpAll(obs::DumpFormat::kJson).c_str());
+    } else {
+      std::printf("\n--- observability: span breakdown ---\n%s",
+                  obs::SpanReport().c_str());
+      std::printf("\n--- observability: metrics ---\n%s",
+                  obs::DumpAll(obs::DumpFormat::kPrometheus).c_str());
+    }
   }
   return 0;
 }
