@@ -50,6 +50,25 @@ check 'SAGA_LATENCY' '_ns$'
 check 'obs::ScopedSpan [a-zA-Z_]+'   # named locals: obs::ScopedSpan span("...")
 check 'obs::ScopedSpan'              # temporaries / ctor-style
 
+# Circuit-breaker metric stems. A breaker registers <stem>_state /
+# <stem>_opened / <stem>_rejected, so the stem itself must be
+# `subsystem.breaker.name` (middle segment literally "breaker") for the
+# derived names — e.g. serving.breaker.ann_state — to stay inside the
+# scheme. Covers direct construction, make_unique, and the KvStore
+# read_breaker_stem default.
+stem_re="^${segment}\.breaker\.${segment}$"
+while IFS= read -r hit; do
+  [ -n "$hit" ] || continue
+  name="${hit##*:}"
+  loc="${hit%:*}"
+  if ! [[ "$name" =~ $stem_re ]]; then
+    echo "BAD STEM  ${loc}: breaker stem \"${name}\" — want subsystem.breaker.name"
+    status=1
+  fi
+done < <(grep -rnoE '(CircuitBreaker( [a-zA-Z_]+)?>?\(|read_breaker_stem = )"[^"]+"' \
+    --include='*.cc' --include='*.h' src tests bench tools 2>/dev/null |
+  sed -E 's/(CircuitBreaker( [a-zA-Z_]+)?>?\(|read_breaker_stem = )"([^"]+)"/\3/')
+
 if [ "$status" -eq 0 ]; then
   echo "check_metric_names: OK (all obs names follow subsystem.component.metric)"
 fi

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "annotation/annotator.h"
+#include "common/request_context.h"
+#include "common/result.h"
 #include "kg/knowledge_graph.h"
 #include "serving/fact_ranker.h"
 
@@ -38,7 +40,16 @@ class QueryAnswerer {
 
   Answer Ask(std::string_view query) const;
 
+  /// Deadline-aware variant: checks the budget between pipeline stages
+  /// (annotate -> resolve relation -> retrieve/rank) and returns
+  /// DeadlineExceeded rather than a half-computed answer. Annotation is
+  /// the expensive stage; a budget that survives it usually finishes.
+  Result<Answer> Ask(std::string_view query, const RequestContext& ctx) const;
+
  private:
+  /// Shared pipeline; `ctx` null for the deadline-less overload.
+  Status AskImpl(std::string_view query, const RequestContext* ctx,
+                 Answer* answer) const;
   /// Best predicate whose surface form / name tokens appear in the
   /// query remainder; ties break toward longer surface matches and
   /// predicates the subject actually holds. Invalid() if none match.

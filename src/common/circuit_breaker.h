@@ -1,0 +1,120 @@
+#ifndef SAGA_COMMON_CIRCUIT_BREAKER_H_
+#define SAGA_COMMON_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace saga {
+
+/// Classic closed / open / half-open circuit breaker guarding a
+/// dependency (ANN index, KvStore reads). While closed, calls flow and
+/// consecutive failures are counted; at `failure_threshold` the breaker
+/// opens and Allow() fails fast with Status::Unavailable — callers fall
+/// back (exact search, cache miss) instead of piling onto a struggling
+/// dependency. After `open_ms` of cool-down the breaker lets a bounded
+/// number of half-open probes through; `close_threshold` consecutive
+/// probe successes close it again, any probe failure re-opens it and
+/// restarts the cool-down.
+///
+/// Observability: the breaker registers three process-global metrics
+/// derived from its metric stem (which must follow the
+/// `subsystem.breaker.name` scheme, e.g. "serving.breaker.ann"):
+///   <stem>_state     gauge    0 closed / 1 open / 2 half-open
+///   <stem>_opened    counter  times the breaker tripped
+///   <stem>_rejected  counter  calls fast-failed while open
+///
+/// Thread-safe: all state behind one mutex; the expected call pattern
+/// (Allow, run the op, RecordSuccess/RecordFailure) never holds the
+/// lock across the guarded operation. The clock is injectable so tests
+/// drive the state machine without sleeping.
+class CircuitBreaker {
+ public:
+  enum class State : int {
+    kClosed = 0,
+    kOpen = 1,
+    kHalfOpen = 2,
+  };
+
+  struct Options {
+    /// Consecutive failures (while closed) that trip the breaker.
+    int failure_threshold = 5;
+    /// Cool-down while open before half-open probes are admitted.
+    double open_ms = 1000.0;
+    /// Probes allowed in flight at once while half-open.
+    int half_open_max_probes = 1;
+    /// Consecutive probe successes that close the breaker.
+    int close_threshold = 1;
+    /// Which statuses count as dependency failures. Defaults to
+    /// IsFailure: business outcomes (NotFound, InvalidArgument, ...)
+    /// are successes; infrastructure trouble (IOError, Corruption,
+    /// ResourceExhausted, DeadlineExceeded, Internal) is a failure.
+    std::function<bool(const Status&)> failure_predicate;
+    /// Injectable monotonic clock (nanoseconds) for tests.
+    std::function<uint64_t()> now_ns;
+  };
+
+  /// `metric_stem` names the exported metrics (see class comment) and
+  /// appears in fast-fail error messages.
+  explicit CircuitBreaker(std::string metric_stem)
+      : CircuitBreaker(std::move(metric_stem), Options()) {}
+  CircuitBreaker(std::string metric_stem, Options options);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// Gatekeeper: OK when the call may proceed (closed, or admitted as a
+  /// half-open probe), Unavailable when the caller must fail fast.
+  Status Allow();
+
+  /// Report the outcome of a call that Allow() admitted.
+  void RecordSuccess();
+  void RecordFailure();
+
+  /// Convenience: Allow + op + Record{Success,Failure} with the
+  /// configured failure predicate. Returns the op's status, or
+  /// Unavailable without running it when open.
+  Status Run(const std::function<Status()>& op);
+
+  State state() const;
+  const std::string& name() const { return stem_; }
+
+  /// Default failure classification (see Options::failure_predicate).
+  static bool IsFailure(const Status& s);
+
+  struct Stats {
+    uint64_t opened = 0;        // transitions into kOpen
+    uint64_t rejected = 0;      // fast-failed calls while open
+    uint64_t failures = 0;      // recorded failures
+    uint64_t successes = 0;     // recorded successes
+  };
+  Stats stats() const;
+
+ private:
+  uint64_t NowNs() const;
+  /// Transitions with mu_ held; updates the state gauge.
+  void TransitionLocked(State next, uint64_t now);
+
+  const std::string stem_;
+  Options options_;
+  obs::Gauge& state_gauge_;
+  obs::Counter& opened_counter_;
+  obs::Counter& rejected_counter_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  int half_open_in_flight_ = 0;
+  uint64_t opened_at_ns_ = 0;
+  Stats stats_;
+};
+
+}  // namespace saga
+
+#endif  // SAGA_COMMON_CIRCUIT_BREAKER_H_

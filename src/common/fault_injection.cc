@@ -1,8 +1,19 @@
 #include "common/fault_injection.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace saga {
+
+namespace {
+
+void SleepMillis(double ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
 
 void FaultInjector::Seed(uint64_t seed) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -21,6 +32,15 @@ void FaultInjector::Disarm(const std::string& point) {
   if (points_.erase(point) > 0) {
     armed_points_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+void FaultInjector::InjectDelay(const std::string& point, double ms) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDelay;
+  spec.delay_ms = ms;
+  spec.fail_nth = 0;  // every hit
+  spec.repeat = true;
+  Arm(point, spec);
 }
 
 void FaultInjector::DisarmAll() {
@@ -69,6 +89,12 @@ std::optional<FaultSpec> FaultInjector::Check(const std::string& point) {
 
 Status FaultInjector::InjectOp(const std::string& point) {
   if (auto spec = Check(point)) {
+    if (spec->kind == FaultKind::kDelay) {
+      // Stall outside the injector lock: concurrent requests must be
+      // able to hit other points (and this one) while we sleep.
+      SleepMillis(spec->delay_ms);
+      return Status::OK();
+    }
     return Status::IOError("injected fault at " + point);
   }
   return Status::OK();
@@ -80,6 +106,9 @@ WriteFault FaultInjector::InjectWrite(const std::string& point,
   if (!spec) return WriteFault{};
   WriteFault out;
   switch (spec->kind) {
+    case FaultKind::kDelay:
+      SleepMillis(spec->delay_ms);
+      break;  // stalled, but the write proceeds untouched
     case FaultKind::kFail:
       out.fail = true;
       out.write_payload = false;

@@ -25,6 +25,11 @@ enum class FaultKind {
   /// One payload bit is flipped and the operation "succeeds" — models
   /// silent media corruption discovered only at read time.
   kBitFlip,
+  /// The calling thread sleeps for `delay_ms` and the operation then
+  /// proceeds normally — models a slow dependency (GC pause, degraded
+  /// disk, overloaded replica) rather than a failed one. The overload
+  /// harness uses this to drive breakers and hedged reads.
+  kDelay,
 };
 
 struct FaultSpec {
@@ -36,6 +41,8 @@ struct FaultSpec {
   double probability = 1.0;
   /// kTornWrite: fraction of the payload that survives, in [0, 1).
   double keep_fraction = 0.5;
+  /// kDelay: how long the guarded operation is stalled.
+  double delay_ms = 0.0;
   /// When false (default) the spec disarms itself after firing once;
   /// when true it keeps firing on every eligible hit >= fail_nth.
   bool repeat = false;
@@ -61,7 +68,8 @@ struct WriteFault {
 /// Fault point names used by the platform are documented in DESIGN.md
 /// ("Durability & failure model"): file.write, file.rename, file.read,
 /// file.remove, wal.open, wal.append, wal.sync, sst.build, sst.open,
-/// serving.index_build.
+/// serving.index_build, and the latency-injectable serving hot points
+/// ann.search, kv.read, graph.traverse.
 ///
 /// Thread-safe; all state sits behind one mutex (fault paths are not
 /// hot paths once armed).
@@ -80,6 +88,10 @@ class FaultInjector {
   void Disarm(const std::string& point);
   void DisarmAll();
 
+  /// Arms a repeating latency fault: every hit of `point` stalls the
+  /// calling thread for `ms` until the point is disarmed.
+  void InjectDelay(const std::string& point, double ms);
+
   /// Cheap global check: true when at least one point is armed.
   bool armed() const {
     return armed_points_.load(std::memory_order_relaxed) > 0;
@@ -87,7 +99,8 @@ class FaultInjector {
 
   /// Pure-failure fault points (rename, fsync, remove, open...).
   /// Returns the injected error when the point fires, OK otherwise.
-  /// Torn-write/bit-flip specs on such points degrade to kFail.
+  /// Torn-write/bit-flip specs on such points degrade to kFail; a
+  /// kDelay spec sleeps (outside the injector lock) and returns OK.
   Status InjectOp(const std::string& point);
 
   /// Write-shaped fault points. May truncate (torn write) or bit-flip

@@ -188,6 +188,30 @@ LatencyHistogram& Registry::latency(std::string_view name) {
   return *it->second;
 }
 
+std::vector<std::pair<std::string, int64_t>> Registry::CountersWithPrefix(
+    std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (const auto& [name, c] : counters_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      out.emplace_back(name, c->Value());
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::GaugesWithPrefix(
+    std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [name, g] : gauges_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      out.emplace_back(name, g->Value());
+    }
+  }
+  return out;
+}
+
 void Registry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();

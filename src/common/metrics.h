@@ -216,6 +216,14 @@ class Registry {
   Gauge& gauge(std::string_view name);
   LatencyHistogram& latency(std::string_view name);
 
+  /// Registered counters / gauges whose name starts with `prefix`, with
+  /// their current values, sorted by name. Powers targeted stats views
+  /// (saga_cli stats --health) without parsing the full text dump.
+  std::vector<std::pair<std::string, int64_t>> CountersWithPrefix(
+      std::string_view prefix) const;
+  std::vector<std::pair<std::string, double>> GaugesWithPrefix(
+      std::string_view prefix) const;
+
   /// Prometheus-style text exposition: counters, gauges, and histogram
   /// count/sum/quantile lines, sorted by name ('.' -> '_').
   std::string DumpPrometheus() const;

@@ -1,0 +1,20 @@
+#include "common/request_context.h"
+
+#include <cstdio>
+
+namespace saga {
+
+Status RequestContext::Check(std::string_view where) const {
+  if (cancelled()) {
+    return Status::DeadlineExceeded("request cancelled in " +
+                                    std::string(where));
+  }
+  if (!deadline_.expired()) return Status::OK();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "deadline exceeded in %.*s (%.2fms overdue)",
+                static_cast<int>(where.size()), where.data(),
+                -deadline_.RemainingMillis());
+  return Status::DeadlineExceeded(buf);
+}
+
+}  // namespace saga

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/circuit_breaker.h"
 #include "common/logging.h"
 
 namespace saga {
@@ -47,6 +48,21 @@ Status RetryPolicy::Run(const std::string& op_name,
     }
   }
   return last;
+}
+
+Status RetryPolicy::Run(const std::string& op_name,
+                        const std::function<Status()>& op,
+                        CircuitBreaker* breaker, MetricsRegistry* metrics,
+                        const RetryablePredicate& retryable) {
+  if (breaker == nullptr) return Run(op_name, op, metrics, retryable);
+  const RetryablePredicate base =
+      retryable ? retryable : RetryablePredicate(&RetryPolicy::IsRetryable);
+  return Run(
+      op_name, [&] { return breaker->Run(op); }, metrics,
+      [&base](const Status& s) {
+        // An open breaker means "stop calling" — never retry through it.
+        return !s.IsUnavailable() && base(s);
+      });
 }
 
 }  // namespace saga

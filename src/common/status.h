@@ -24,6 +24,12 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  /// A request ran out of its latency budget (serving-tier deadline
+  /// propagation). Not retryable: the budget is gone.
+  kDeadlineExceeded,
+  /// A dependency is temporarily refusing work (open circuit breaker,
+  /// draining shard). Callers should fall back or fail fast, not queue.
+  kUnavailable,
 };
 
 /// Returns a short human-readable name such as "NotFound".
@@ -72,6 +78,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -84,6 +96,13 @@ class Status {
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -4,7 +4,10 @@
 
 namespace saga {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads) : ThreadPool(num_threads, 0) {}
+
+ThreadPool::ThreadPool(int num_threads, size_t max_queue)
+    : max_queue_(max_queue) {
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -29,6 +32,29 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   task_available_.notify_one();
+}
+
+Status ThreadPool::TrySubmit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return Status::OK();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (max_queue_ > 0 && queue_.size() >= max_queue_) {
+      return Status::ResourceExhausted("threadpool queue full (" +
+                                       std::to_string(queue_.size()) +
+                                       " pending)");
+    }
+    queue_.push_back(std::move(task));
+  }
+  task_available_.notify_one();
+  return Status::OK();
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 void ThreadPool::Wait() {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/fault_injection.h"
+
 namespace saga::graph_engine {
 
 PprEngine::PprEngine(const GraphView* view) : PprEngine(view, Options()) {}
@@ -10,9 +12,10 @@ PprEngine::PprEngine(const GraphView* view) : PprEngine(view, Options()) {}
 PprEngine::PprEngine(const GraphView* view, Options options)
     : view_(view), options_(options) {}
 
-std::unordered_map<uint32_t, double> PprEngine::Ppr(uint32_t source) const {
+Status PprEngine::PprImpl(uint32_t source, const RequestContext* ctx,
+                          std::unordered_map<uint32_t, double>* out) const {
   const auto& adj = view_->Adjacency();
-  std::unordered_map<uint32_t, double> p;
+  std::unordered_map<uint32_t, double>& p = *out;
   std::unordered_map<uint32_t, double> r;
   r[source] = 1.0;
   std::deque<uint32_t> queue{source};
@@ -20,7 +23,18 @@ std::unordered_map<uint32_t, double> PprEngine::Ppr(uint32_t source) const {
   queued[source] = true;
 
   size_t pushes = 0;
+  size_t steps = 0;
   while (!queue.empty() && pushes < options_.max_pushes) {
+    if (ctx != nullptr) {
+      // Push-loop boundary: cooperative deadline check (strided — a
+      // push touches at most one adjacency list) + fault consultation.
+      if ((steps++ & 255) == 0) {
+        SAGA_RETURN_IF_ERROR(ctx->Check("graph_engine.ppr"));
+      }
+      if (Faults().armed()) {
+        SAGA_RETURN_IF_ERROR(Faults().InjectOp("graph.traverse"));
+      }
+    }
     const uint32_t u = queue.front();
     queue.pop_front();
     queued[u] = false;
@@ -47,12 +61,26 @@ std::unordered_map<uint32_t, double> PprEngine::Ppr(uint32_t source) const {
       }
     }
   }
+  return Status::OK();
+}
+
+std::unordered_map<uint32_t, double> PprEngine::Ppr(uint32_t source) const {
+  std::unordered_map<uint32_t, double> p;
+  (void)PprImpl(source, nullptr, &p);
   return p;
 }
 
-std::vector<std::pair<uint32_t, double>> PprEngine::TopKRelated(
-    uint32_t source, size_t k) const {
-  auto scores = Ppr(source);
+Result<std::unordered_map<uint32_t, double>> PprEngine::Ppr(
+    uint32_t source, const RequestContext& ctx) const {
+  std::unordered_map<uint32_t, double> p;
+  SAGA_RETURN_IF_ERROR(PprImpl(source, &ctx, &p));
+  return p;
+}
+
+namespace {
+
+std::vector<std::pair<uint32_t, double>> RankScores(
+    std::unordered_map<uint32_t, double> scores, uint32_t source, size_t k) {
   scores.erase(source);
   std::vector<std::pair<uint32_t, double>> out(scores.begin(), scores.end());
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
@@ -61,6 +89,19 @@ std::vector<std::pair<uint32_t, double>> PprEngine::TopKRelated(
   });
   if (out.size() > k) out.resize(k);
   return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<uint32_t, double>> PprEngine::TopKRelated(
+    uint32_t source, size_t k) const {
+  return RankScores(Ppr(source), source, k);
+}
+
+Result<std::vector<std::pair<uint32_t, double>>> PprEngine::TopKRelated(
+    uint32_t source, size_t k, const RequestContext& ctx) const {
+  SAGA_ASSIGN_OR_RETURN(auto scores, Ppr(source, ctx));
+  return RankScores(std::move(scores), source, k);
 }
 
 }  // namespace saga::graph_engine

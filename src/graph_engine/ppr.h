@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/request_context.h"
+#include "common/result.h"
 #include "graph_engine/view.h"
 
 namespace saga::graph_engine {
@@ -27,11 +29,23 @@ class PprEngine {
   /// entries are returned.
   std::unordered_map<uint32_t, double> Ppr(uint32_t source) const;
 
+  /// Deadline-aware serving variant: checks `ctx` at push-loop
+  /// boundaries (forward-push is the PPR hot loop) and returns
+  /// DeadlineExceeded once the budget is spent. Consults the
+  /// `graph.traverse` fault point for latency/failure injection.
+  Result<std::unordered_map<uint32_t, double>> Ppr(
+      uint32_t source, const RequestContext& ctx) const;
+
   /// Top-k highest-PPR entities excluding the source itself.
   std::vector<std::pair<uint32_t, double>> TopKRelated(uint32_t source,
                                                        size_t k) const;
+  Result<std::vector<std::pair<uint32_t, double>>> TopKRelated(
+      uint32_t source, size_t k, const RequestContext& ctx) const;
 
  private:
+  Status PprImpl(uint32_t source, const RequestContext* ctx,
+                 std::unordered_map<uint32_t, double>* p) const;
+
   const GraphView* view_;
   Options options_;
 };

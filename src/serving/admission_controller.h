@@ -1,0 +1,134 @@
+#ifndef SAGA_SERVING_ADMISSION_CONTROLLER_H_
+#define SAGA_SERVING_ADMISSION_CONTROLLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/request_context.h"
+#include "common/status.h"
+
+namespace saga::serving {
+
+/// Front-door admission control for the serving tier (paper §6 serves
+/// interactive traffic under strict SLAs next to background/bulk work).
+/// Two cooperating limiters:
+///
+/// - A concurrency limit: at most `max_concurrent` requests in flight,
+///   and a tighter `low_priority_max_concurrent` sub-limit so bulk work
+///   can never occupy the whole tier. Under overload low-priority
+///   requests are shed first, with ResourceExhausted — the retryable
+///   "back off and come back" signal — while high-priority traffic
+///   keeps the remaining capacity.
+/// - A token bucket on the *low-priority* class only
+///   (`low_priority_rate_per_sec`, burst `low_priority_burst`): even
+///   when the tier is idle, bulk traffic is smoothed so a burst cannot
+///   instantly fill every slot ahead of interactive arrivals.
+///
+/// Requests whose deadline is already expired are rejected up front
+/// with DeadlineExceeded (no point admitting work that cannot finish —
+/// it only adds load exactly when load is the problem).
+///
+/// Usage:
+///
+///   auto ticket = admission.TryAdmit(ctx);
+///   if (!ticket.ok()) return ticket.status();   // shed
+///   ... serve ...                               // ticket releases slot
+///
+/// Metrics: `serving.admission.admitted` / `.shed_low` / `.shed_high` /
+/// `.expired` counters and `serving.admission.in_flight` /
+/// `.in_flight_low` gauges. Thread-safe; clock injectable for tests.
+class AdmissionController {
+ public:
+  struct Options {
+    /// Total in-flight request cap (both classes).
+    int max_concurrent = 64;
+    /// Sub-cap for low-priority requests; must be <= max_concurrent.
+    int low_priority_max_concurrent = 16;
+    /// Token-bucket refill rate for low-priority admits; <= 0 disables
+    /// the rate limiter (concurrency caps still apply).
+    double low_priority_rate_per_sec = 0.0;
+    /// Bucket capacity (burst size). Defaults to one second of rate.
+    double low_priority_burst = 0.0;
+    /// Reject requests whose deadline has already expired.
+    bool reject_expired = true;
+    /// Injectable monotonic clock (nanoseconds) for tests.
+    std::function<uint64_t()> now_ns;
+  };
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t shed_low = 0;
+    uint64_t shed_high = 0;
+    uint64_t rejected_expired = 0;
+    int in_flight = 0;
+    int in_flight_low = 0;
+  };
+
+  /// RAII admission slot: releases concurrency on destruction. Falsy
+  /// (ok() == false) when the request was shed; the reason says why.
+  class Ticket {
+   public:
+    Ticket() = default;
+    ~Ticket() { Release(); }
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        priority_ = other.priority_;
+        status_ = std::move(other.status_);
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    bool ok() const { return controller_ != nullptr; }
+    /// OK when admitted; the shed reason otherwise.
+    const Status& status() const { return status_; }
+
+    /// Early release (before destruction), e.g. when handing the
+    /// response off to a writer that is no longer "serving work".
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* c, Priority p)
+        : controller_(c), priority_(p), status_(Status::OK()) {}
+    explicit Ticket(Status shed) : status_(std::move(shed)) {}
+
+    AdmissionController* controller_ = nullptr;
+    Priority priority_ = Priority::kHigh;
+    Status status_ = Status::OK();
+  };
+
+  explicit AdmissionController(Options options);
+  AdmissionController() : AdmissionController(Options()) {}
+
+  /// Admission decision for one request. Never blocks: under overload
+  /// the answer is an immediate shed (ResourceExhausted) so callers can
+  /// retry with backoff or fail fast, not queue invisibly.
+  Ticket TryAdmit(const RequestContext& ctx);
+
+  Stats stats() const;
+  const Options& options() const { return options_; }
+
+ private:
+  friend class Ticket;
+  void Release(Priority p);
+  uint64_t NowNs() const;
+  /// Refills and tries to take one low-priority token. Caller holds mu_.
+  bool TakeLowPriorityTokenLocked();
+
+  Options options_;
+  mutable std::mutex mu_;
+  Stats stats_;
+  double tokens_ = 0.0;
+  uint64_t last_refill_ns_ = 0;
+};
+
+}  // namespace saga::serving
+
+#endif  // SAGA_SERVING_ADMISSION_CONTROLLER_H_

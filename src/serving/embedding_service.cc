@@ -1,5 +1,8 @@
 #include "serving/embedding_service.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "ann/brute_force_index.h"
 #include "ann/ivf_index.h"
 #include "ann/quantized_index.h"
@@ -19,14 +22,23 @@ EmbeddingService::EmbeddingService(embedding::EmbeddingStore store,
                                    Options options)
     : store_(std::move(store)), kg_(kg), options_(options) {
   BuildIndexWithFallback();
+  if (options_.enable_breaker) {
+    ann_breaker_ =
+        std::make_unique<CircuitBreaker>("serving.breaker.ann",
+                                         options_.breaker);
+  }
+  if ((options_.hedge.enabled || options_.enable_breaker) &&
+      UsesAcceleratedIndex()) {
+    exact_backup_ = MakeIndex(IndexKind::kExact);
+  }
+  if (options_.hedge.enabled && exact_backup_ != nullptr) {
+    hedge_pool_ =
+        std::make_unique<ThreadPool>(std::max(1, options_.hedge.threads));
+  }
 }
 
-Status EmbeddingService::BuildIndexOnce(IndexKind kind) {
-  // The fault point covers accelerated builds only, so the exact
-  // fallback below can never be failed by injection.
-  if (kind != IndexKind::kExact && Faults().armed()) {
-    SAGA_RETURN_IF_ERROR(Faults().InjectOp("serving.index_build"));
-  }
+std::unique_ptr<ann::VectorIndex> EmbeddingService::MakeIndex(
+    IndexKind kind) const {
   std::unique_ptr<ann::VectorIndex> index;
   switch (kind) {
     case IndexKind::kExact:
@@ -50,7 +62,16 @@ Status EmbeddingService::BuildIndexOnce(IndexKind kind) {
     index->Add(id.value(), *store_.Get(id));
   }
   index->Build();
-  index_ = std::move(index);
+  return index;
+}
+
+Status EmbeddingService::BuildIndexOnce(IndexKind kind) {
+  // The fault point covers accelerated builds only, so the exact
+  // fallback below can never be failed by injection.
+  if (kind != IndexKind::kExact && Faults().armed()) {
+    SAGA_RETURN_IF_ERROR(Faults().InjectOp("serving.index_build"));
+  }
+  index_ = MakeIndex(kind);
   return Status::OK();
 }
 
@@ -143,6 +164,173 @@ std::vector<std::pair<kg::EntityId, double>> EmbeddingService::TopKForVector(
     if (out.size() == k) break;
   }
   return out;
+}
+
+Result<std::vector<std::pair<kg::EntityId, double>>>
+EmbeddingService::TopKNeighbors(kg::EntityId id, size_t k,
+                                kg::TypeId type_filter,
+                                const RequestContext& ctx) const {
+  obs::ScopedSpan span("serving.embedding.topk_neighbors");
+  obs::ScopedLatency timer(SAGA_LATENCY("serving.embedding.topk_ns"));
+  SAGA_RETURN_IF_ERROR(ctx.Check("serving.embedding.topk"));
+  SAGA_ASSIGN_OR_RETURN(std::vector<float> query, GetEmbedding(id));
+  SAGA_ASSIGN_OR_RETURN(auto hits,
+                        TopKForVector(query, k + 1, type_filter, ctx));
+  std::vector<std::pair<kg::EntityId, double>> out;
+  for (const auto& [e, sim] : hits) {
+    if (e == id) continue;
+    out.emplace_back(e, sim);
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<kg::EntityId, double>>>
+EmbeddingService::TopKForVector(const std::vector<float>& query, size_t k,
+                                kg::TypeId type_filter,
+                                const RequestContext& ctx) const {
+  obs::ScopedLatency timer(SAGA_LATENCY("serving.embedding.search_ns"));
+  SAGA_COUNTER("serving.embedding.searches").Add();
+  SAGA_RETURN_IF_ERROR(ctx.Check("serving.embedding.search"));
+  const size_t fetch = type_filter.valid() ? k * 8 + 16 : k;
+  SAGA_ASSIGN_OR_RETURN(std::vector<ann::Neighbor> hits,
+                        SearchWithPolicies(query, fetch, ctx));
+  // A correct answer after the deadline is still a failed request.
+  SAGA_RETURN_IF_ERROR(ctx.Check("serving.embedding.search"));
+  std::vector<std::pair<kg::EntityId, double>> out;
+  for (const ann::Neighbor& n : hits) {
+    const kg::EntityId id(n.label);
+    if (!PassesTypeFilter(id, type_filter)) continue;
+    out.emplace_back(id, n.similarity);
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+double EmbeddingService::HedgeDelayMs() const {
+  const HedgeOptions& h = options_.hedge;
+  if (h.fixed_hedge_ms > 0) return h.fixed_hedge_ms;
+  const obs::LatencyHistogram& hist =
+      SAGA_LATENCY("serving.embedding.search_ns");
+  if (hist.Count() < h.min_samples) return h.default_hedge_ms;
+  return std::max(h.min_hedge_ms, hist.PercentileNs(99.0) / 1e6);
+}
+
+void EmbeddingService::RecordAnnOutcome(const Status& s, double elapsed_ms,
+                                        const RequestContext& ctx) const {
+  if (ann_breaker_ == nullptr) return;
+  const bool slow = options_.breaker_slow_call_ms > 0 &&
+                    elapsed_ms > options_.breaker_slow_call_ms;
+  if (CircuitBreaker::IsFailure(s) || slow || ctx.expired()) {
+    ann_breaker_->RecordFailure();
+  } else {
+    ann_breaker_->RecordSuccess();
+  }
+}
+
+Result<std::vector<ann::Neighbor>> EmbeddingService::SearchWithPolicies(
+    const std::vector<float>& query, size_t fetch,
+    const RequestContext& ctx) const {
+  if (!UsesAcceleratedIndex()) {
+    // Exact search is the ground truth: no breaker, no hedge, no
+    // injected replica faults.
+    return index_->Search(query, fetch);
+  }
+  if (ann_breaker_ != nullptr) {
+    const Status allow = ann_breaker_->Allow();
+    if (!allow.ok()) {
+      // Open breaker: serve correct-but-slower exact results instead of
+      // hammering the struggling index (and instead of failing).
+      if (exact_backup_ != nullptr) {
+        SAGA_COUNTER("serving.breaker.fallbacks").Add();
+        return exact_backup_->Search(query, fetch);
+      }
+      return allow;
+    }
+  }
+  if (hedge_pool_ != nullptr) {
+    return HedgedSearch(query, fetch, ctx);
+  }
+  Stopwatch sw;
+  Status s = Faults().armed() ? Faults().InjectOp("ann.search")
+                              : Status::OK();
+  std::vector<ann::Neighbor> hits;
+  if (s.ok()) hits = index_->Search(query, fetch);
+  RecordAnnOutcome(s, sw.ElapsedMillis(), ctx);
+  if (!s.ok()) {
+    if (exact_backup_ != nullptr) return exact_backup_->Search(query, fetch);
+    return s;
+  }
+  return hits;
+}
+
+namespace {
+
+/// First-response-wins rendezvous between the accelerated primary (on
+/// the hedge pool) and the exact backup (inline on the caller).
+struct HedgeState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool primary_finished = false;
+  Status primary_status;
+  /// Set by whichever probe claims the win first.
+  bool claimed = false;
+  std::vector<ann::Neighbor> primary_hits;
+};
+
+}  // namespace
+
+Result<std::vector<ann::Neighbor>> EmbeddingService::HedgedSearch(
+    const std::vector<float>& query, size_t fetch,
+    const RequestContext& ctx) const {
+  auto st = std::make_shared<HedgeState>();
+  // Raw pointer is safe: hedge_pool_ is declared after index_ and thus
+  // destroyed (drained) before it.
+  const ann::VectorIndex* idx = index_.get();
+  hedge_pool_->Submit([st, idx, query, fetch] {
+    Status s = Faults().armed() ? Faults().InjectOp("ann.search")
+                                : Status::OK();
+    std::vector<ann::Neighbor> hits;
+    if (s.ok()) hits = idx->Search(query, fetch);
+    std::lock_guard<std::mutex> lock(st->mu);
+    st->primary_finished = true;
+    st->primary_status = s;
+    if (s.ok() && !st->claimed) {
+      st->claimed = true;
+      st->primary_hits = std::move(hits);
+    }
+    st->cv.notify_all();
+  });
+
+  double wait_ms = HedgeDelayMs();
+  if (!ctx.deadline().infinite()) {
+    wait_ms = std::min(wait_ms, std::max(0.0, ctx.deadline().RemainingMillis()));
+  }
+  {
+    std::unique_lock<std::mutex> lock(st->mu);
+    st->cv.wait_for(lock,
+                    std::chrono::duration<double, std::milli>(wait_ms),
+                    [&] { return st->primary_finished; });
+    if (st->primary_finished && st->primary_status.ok()) {
+      RecordAnnOutcome(Status::OK(), 0.0, ctx);
+      return std::move(st->primary_hits);
+    }
+  }
+  // Primary overran the hedge timer (or failed): one latency SLO miss
+  // for the breaker, and the exact backup races it from here.
+  SAGA_COUNTER("serving.hedge.fired").Add();
+  RecordAnnOutcome(Status::DeadlineExceeded("ann primary overran hedge timer"),
+                   wait_ms, ctx);
+  std::vector<ann::Neighbor> backup = exact_backup_->Search(query, fetch);
+  std::lock_guard<std::mutex> lock(st->mu);
+  if (st->claimed) {
+    // Primary slipped in while the backup was scanning: it responded
+    // first, it wins.
+    return std::move(st->primary_hits);
+  }
+  st->claimed = true;
+  SAGA_COUNTER("serving.hedge.backup_wins").Add();
+  return backup;
 }
 
 }  // namespace saga::serving

@@ -1,13 +1,18 @@
 #ifndef SAGA_SERVING_EMBEDDING_SERVICE_H_
 #define SAGA_SERVING_EMBEDDING_SERVICE_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ann/index.h"
+#include "common/circuit_breaker.h"
 #include "common/metrics.h"
+#include "common/request_context.h"
 #include "common/result.h"
 #include "common/retry.h"
+#include "common/threadpool.h"
 #include "embedding/embedding_store.h"
 #include "kg/knowledge_graph.h"
 
@@ -21,6 +26,16 @@ namespace saga::serving {
 /// brute-force search instead of refusing to serve — correct answers,
 /// reduced throughput. The degradation is observable via degraded()
 /// and the `serving.degraded` counter.
+///
+/// Overload safety (deadline-carrying overloads only):
+/// - A circuit breaker guards the accelerated index: injected or real
+///   search failures, and searches slower than `breaker_slow_call_ms`,
+///   count as failures; once tripped, searches fall back to the exact
+///   backup index until the breaker's half-open probes succeed.
+/// - Hedged reads: when the accelerated search has not answered within
+///   a p99-derived hedge timer, a backup exact-search probe fires and
+///   the first response wins — one slow replica/shard no longer defines
+///   tail latency (The Tail at Scale).
 class EmbeddingService {
  public:
   enum class IndexKind {
@@ -29,6 +44,21 @@ class EmbeddingService {
     /// int8-quantized exact index: 4x smaller, slightly lossy (the
     /// on-device / compressed serving tier).
     kQuantized,
+  };
+
+  /// Hedged-read policy for accelerated (IVF / quantized) searches.
+  struct HedgeOptions {
+    bool enabled = false;
+    /// Fixed hedge timer; <= 0 derives the timer from the live p99 of
+    /// `serving.embedding.search_ns` once `min_samples` are recorded.
+    double fixed_hedge_ms = 0.0;
+    /// Floor for the adaptive timer (p99 of a warm cache is ~0).
+    double min_hedge_ms = 0.2;
+    /// Adaptive timer before enough samples exist.
+    double default_hedge_ms = 5.0;
+    uint64_t min_samples = 50;
+    /// Workers running primary searches so the caller can hedge.
+    int threads = 2;
   };
 
   struct Options {
@@ -41,6 +71,16 @@ class EmbeddingService {
     /// Optional sink for `serving.degraded` / `retry.attempts`. Not
     /// owned; must outlive the service.
     MetricsRegistry* metrics = nullptr;
+    /// Circuit breaker for the accelerated search path (metrics under
+    /// `serving.breaker.ann_*`). Only consulted by deadline-carrying
+    /// calls.
+    bool enable_breaker = false;
+    CircuitBreaker::Options breaker;
+    /// Searches slower than this count as breaker failures (0 = only
+    /// hard failures count). A latency-injected ANN index trips the
+    /// breaker through this path.
+    double breaker_slow_call_ms = 0.0;
+    HedgeOptions hedge;
   };
 
   EmbeddingService(embedding::EmbeddingStore store,
@@ -71,12 +111,30 @@ class EmbeddingService {
       const std::vector<float>& query, size_t k,
       kg::TypeId type_filter = kg::TypeId::Invalid()) const;
 
+  /// Deadline-aware serving variants: cooperative deadline checks, the
+  /// `ann.search` fault point, the ANN circuit breaker, and hedged
+  /// reads (all per Options). DeadlineExceeded when the budget is spent
+  /// before a useful answer exists; Unavailable when the breaker is
+  /// open and no exact backup can serve.
+  Result<std::vector<std::pair<kg::EntityId, double>>> TopKNeighbors(
+      kg::EntityId id, size_t k, kg::TypeId type_filter,
+      const RequestContext& ctx) const;
+  Result<std::vector<std::pair<kg::EntityId, double>>> TopKForVector(
+      const std::vector<float>& query, size_t k, kg::TypeId type_filter,
+      const RequestContext& ctx) const;
+
   const embedding::EmbeddingStore& store() const { return store_; }
   int dim() const { return store_.dim(); }
 
   /// True when the configured index could not be built and the service
   /// fell back to exact brute-force search.
   bool degraded() const { return degraded_; }
+
+  /// Null unless Options::enable_breaker.
+  CircuitBreaker* ann_breaker() const { return ann_breaker_.get(); }
+
+  /// Current hedge timer (for tests / the overload bench).
+  double HedgeDelayMs() const;
 
  private:
   bool PassesTypeFilter(kg::EntityId id, kg::TypeId type) const;
@@ -85,12 +143,38 @@ class EmbeddingService {
   /// search on persistent failure.
   void BuildIndexWithFallback();
   Status BuildIndexOnce(IndexKind kind);
+  /// Builds and populates an index of `kind` from the store.
+  std::unique_ptr<ann::VectorIndex> MakeIndex(IndexKind kind) const;
+
+  /// True when searches go through an accelerated (hedgeable,
+  /// breaker-guarded) index rather than exact brute force.
+  bool UsesAcceleratedIndex() const {
+    return !degraded_ && options_.index != IndexKind::kExact;
+  }
+  /// Raw neighbor search applying breaker / hedging / fault injection.
+  Result<std::vector<ann::Neighbor>> SearchWithPolicies(
+      const std::vector<float>& query, size_t fetch,
+      const RequestContext& ctx) const;
+  Result<std::vector<ann::Neighbor>> HedgedSearch(
+      const std::vector<float>& query, size_t fetch,
+      const RequestContext& ctx) const;
+  /// One breaker outcome per admitted accelerated search.
+  void RecordAnnOutcome(const Status& s, double elapsed_ms,
+                        const RequestContext& ctx) const;
 
   embedding::EmbeddingStore store_;
   const kg::KnowledgeGraph* kg_;
   Options options_;
   std::unique_ptr<ann::VectorIndex> index_;
   bool degraded_ = false;
+  std::unique_ptr<CircuitBreaker> ann_breaker_;
+  /// Exact brute-force twin of the accelerated index: hedge backup and
+  /// breaker-open fallback. Built only when those features are on.
+  std::unique_ptr<ann::VectorIndex> exact_backup_;
+  /// Runs primary searches for hedged reads. Declared last: destroyed
+  /// (and drained) first, so in-flight hedge tasks never outlive the
+  /// index they search.
+  std::unique_ptr<ThreadPool> hedge_pool_;
 };
 
 }  // namespace saga::serving

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/request_context.h"
 #include "common/result.h"
 #include "graph_engine/ppr.h"
 #include "graph_engine/view.h"
@@ -40,9 +41,20 @@ class RelatedEntitiesService {
       kg::EntityId id, size_t k,
       kg::TypeId type_filter = kg::TypeId::Invalid()) const;
 
+  /// Deadline-aware variant: the budget propagates into both engines
+  /// (embedding k-NN inherits the ANN breaker/hedging, PPR checks the
+  /// deadline at push-loop boundaries). In blend mode the embedding leg
+  /// runs first; PPR spends whatever budget remains.
+  Result<std::vector<std::pair<kg::EntityId, double>>> Related(
+      kg::EntityId id, size_t k, kg::TypeId type_filter,
+      const RequestContext& ctx) const;
+
  private:
   std::vector<std::pair<kg::EntityId, double>> PprRelated(
       kg::EntityId id, size_t k, kg::TypeId type_filter) const;
+  Result<std::vector<std::pair<kg::EntityId, double>>> PprRelated(
+      kg::EntityId id, size_t k, kg::TypeId type_filter,
+      const RequestContext& ctx) const;
   bool PassesTypeFilter(kg::EntityId id, kg::TypeId type) const;
 
   const kg::KnowledgeGraph* kg_;

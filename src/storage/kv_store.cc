@@ -7,6 +7,7 @@
 #include <optional>
 #include <set>
 
+#include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/logging.h"
 #include "common/serialization.h"
@@ -84,7 +85,12 @@ std::optional<std::vector<std::string>> ParseManifest(
 }  // namespace
 
 KvStore::KvStore(std::string dir, Options options)
-    : dir_(std::move(dir)), options_(options), retry_(options.retry) {}
+    : dir_(std::move(dir)), options_(options), retry_(options.retry) {
+  if (options_.enable_read_breaker) {
+    read_breaker_ = std::make_unique<CircuitBreaker>(
+        options_.read_breaker_stem, options_.read_breaker);
+  }
+}
 
 Result<std::unique_ptr<KvStore>> KvStore::Open(const std::string& dir) {
   return Open(dir, Options());
@@ -347,8 +353,42 @@ Status KvStore::Delete(std::string_view key) {
 }
 
 Result<std::string> KvStore::Get(std::string_view key) {
+  return GetImpl(key, nullptr);
+}
+
+Result<std::string> KvStore::Get(std::string_view key,
+                                 const RequestContext& ctx) {
+  // Fast-fail while the breaker is open: a read that would stall on a
+  // struggling store is worth more to the caller as an immediate
+  // Unavailable (serve from fallback, count a miss) than as a timeout.
+  if (read_breaker_ != nullptr) {
+    SAGA_RETURN_IF_ERROR(read_breaker_->Allow());
+  }
+  auto result = GetImpl(key, &ctx);
+  if (read_breaker_ != nullptr) {
+    if (!result.ok() && CircuitBreaker::IsFailure(result.status())) {
+      read_breaker_->RecordFailure();
+    } else {
+      read_breaker_->RecordSuccess();
+    }
+  }
+  return result;
+}
+
+Result<std::string> KvStore::GetImpl(std::string_view key,
+                                     const RequestContext* ctx) {
   obs::ScopedLatency timer(SAGA_LATENCY("storage.kv.get_ns"));
   ++stats_.gets;
+  if (ctx != nullptr) {
+    SAGA_RETURN_IF_ERROR(ctx->Check("storage.kv.get"));
+    if (Faults().armed()) {
+      // `kv.read` models a slow or failing storage device / replica;
+      // the deadline re-check right after surfaces an injected stall as
+      // DeadlineExceeded exactly like a real one.
+      SAGA_RETURN_IF_ERROR(Faults().InjectOp("kv.read"));
+      SAGA_RETURN_IF_ERROR(ctx->Check("storage.kv.get"));
+    }
+  }
   if (auto entry = memtable_.Get(key)) {
     if (entry->is_tombstone) {
       return Status::NotFound(std::string(key));
@@ -356,6 +396,9 @@ Result<std::string> KvStore::Get(std::string_view key) {
     return entry->value;
   }
   for (auto it = sstables_.rbegin(); it != sstables_.rend(); ++it) {
+    if (ctx != nullptr) {
+      SAGA_RETURN_IF_ERROR(ctx->Check("storage.kv.probe"));
+    }
     if ((*it)->DefinitelyMissing(key)) {
       ++stats_.bloom_skips;
       continue;

@@ -6,7 +6,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/circuit_breaker.h"
 #include "common/metrics.h"
+#include "common/request_context.h"
 #include "common/result.h"
 #include "common/retry.h"
 #include "common/status.h"
@@ -48,6 +50,16 @@ class KvStore {
     /// Backoff schedule for transient IO failures during open, flush
     /// and compaction.
     RetryPolicy::Options retry;
+    /// Guard the read path with a circuit breaker: repeated read
+    /// failures (or injected `kv.read` faults / stalls blowing request
+    /// deadlines) trip it, and deadline-carrying Gets then fail fast
+    /// with Unavailable instead of piling onto a struggling store.
+    /// Serving-tier callers (the embedding cache) opt in.
+    bool enable_read_breaker = false;
+    CircuitBreaker::Options read_breaker;
+    /// Metric stem for the read breaker (see CircuitBreaker docs);
+    /// overridable when several stores coexist in one process.
+    std::string read_breaker_stem = "serving.breaker.kv";
     /// Optional sink for robustness counters (sst.quarantined,
     /// wal.records_dropped, wal.bytes_dropped, retry.attempts). Not
     /// owned; must outlive the store.
@@ -103,6 +115,13 @@ class KvStore {
   Status Delete(std::string_view key);
   Result<std::string> Get(std::string_view key);
 
+  /// Deadline-aware serving read: consults the `kv.read` fault point
+  /// (latency/failure injection), checks the request deadline before
+  /// each SSTable probe, and — when the read breaker is enabled — fails
+  /// fast with Unavailable while the breaker is open. NotFound is a
+  /// business outcome, not a breaker failure.
+  Result<std::string> Get(std::string_view key, const RequestContext& ctx);
+
   /// Key/value pairs whose key starts with `prefix`, in key order.
   Result<std::vector<std::pair<std::string, std::string>>> ScanPrefix(
       std::string_view prefix);
@@ -122,6 +141,8 @@ class KvStore {
   /// Stale table files whose removal failed and is pending retry.
   size_t pending_gc() const { return pending_gc_.size(); }
   const std::string& dir() const { return dir_; }
+  /// Null unless Options::enable_read_breaker.
+  CircuitBreaker* read_breaker() { return read_breaker_.get(); }
 
  private:
   KvStore(std::string dir, Options options);
@@ -146,6 +167,9 @@ class KvStore {
   /// the on-disk byte length of that replayed prefix (so Recover can
   /// truncate a damaged log before appending behind the damage).
   uint64_t ReplayWal(const WalReadResult& wal);
+  /// Shared read path; `ctx` null for legacy deadline-less Gets (which
+  /// skip injection and breaker accounting entirely).
+  Result<std::string> GetImpl(std::string_view key, const RequestContext* ctx);
 
   std::string dir_;
   Options options_;
@@ -158,6 +182,7 @@ class KvStore {
   RecoveryStats recovery_stats_;
   RetryPolicy retry_;
   std::vector<std::string> pending_gc_;
+  std::unique_ptr<CircuitBreaker> read_breaker_;
 };
 
 }  // namespace saga::storage

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <optional>
 #include <string>
@@ -47,6 +48,18 @@ constexpr FaultChoice kFaultMenu[] = {
     {"file.remove", FaultKind::kFail},      // failed stale-table removal
 };
 
+/// Base seed for the randomized chaos loops. Every iteration derives
+/// its Rng seed from this, so one number replays a whole failing run:
+/// any assertion failure prints `SAGA_CHAOS_SEED=<n>` (via
+/// SCOPED_TRACE), and exporting that variable reproduces it exactly.
+uint64_t ChaosBaseSeed(uint64_t default_seed) {
+  const char* env = std::getenv("SAGA_CHAOS_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return default_seed;
+}
+
 class ChaosTest : public ::testing::Test {
  protected:
   void SetUp() override { SetMinLogLevel(LogLevel::kError); }
@@ -59,13 +72,15 @@ class ChaosTest : public ::testing::Test {
 TEST_F(ChaosTest, CrashReplayLoopLosesNoSyncedWrite) {
   constexpr int kIterations = 220;
   constexpr int kKeySpace = 40;
+  const uint64_t base_seed = ChaosBaseSeed(13);
+  SCOPED_TRACE("replay with SAGA_CHAOS_SEED=" + std::to_string(base_seed));
   int crashes = 0;
   int64_t total_quarantined = 0;
   int64_t total_wal_dropped = 0;
 
   for (int iter = 0; iter < kIterations; ++iter) {
     SCOPED_TRACE("iteration " + std::to_string(iter));
-    Rng rng(10007 * iter + 13);
+    Rng rng(10007 * static_cast<uint64_t>(iter) + base_seed);
     Faults().Seed(rng.NextUint64());
     auto dir = MakeTempDir("saga_chaos");
     ASSERT_TRUE(dir.ok());
@@ -174,7 +189,9 @@ TEST_F(ChaosTest, CrashReplayLoopLosesNoSyncedWrite) {
 /// Recovery directly on top of every torn-artifact combination the
 /// menu can produce, several times per fault point.
 TEST_F(ChaosTest, RepeatedCrashesAcrossReopens) {
-  Rng rng(4242);
+  const uint64_t base_seed = ChaosBaseSeed(4242);
+  SCOPED_TRACE("replay with SAGA_CHAOS_SEED=" + std::to_string(base_seed));
+  Rng rng(base_seed);
   auto dir = MakeTempDir("saga_chaos_reopen");
   ASSERT_TRUE(dir.ok());
   KvStore::Options opts;

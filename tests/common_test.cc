@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/serialization.h"
 #include "common/status.h"
@@ -485,6 +486,106 @@ TEST(ThreadPoolTest, ParallelForNullPoolIsSerial) {
   std::vector<int> hits(50, 0);
   ParallelFor(nullptr, hits.size(), [&hits](size_t i) { hits[i] = 1; });
   for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+// ---------- RetryPolicy backoff bounds ----------
+
+TEST(RetryPolicyTest, BackoffStaysWithinJitterBounds) {
+  RetryPolicy::Options opts;
+  opts.initial_backoff_ms = 2.0;
+  opts.backoff_multiplier = 2.0;
+  opts.max_backoff_ms = 50.0;
+  opts.jitter_fraction = 0.2;
+  RetryPolicy policy(opts);
+
+  // Exponential base: 2, 4, 8, ... capped at 50; jitter of +/-20%
+  // around each. Every draw must land inside [base*0.8, base*1.2].
+  for (int round = 0; round < 50; ++round) {
+    double base = opts.initial_backoff_ms;
+    for (int attempt = 1; attempt <= 8; ++attempt) {
+      const double backoff = policy.BackoffMs(attempt);
+      EXPECT_GE(backoff, base * (1.0 - opts.jitter_fraction))
+          << "attempt " << attempt;
+      EXPECT_LE(backoff, base * (1.0 + opts.jitter_fraction))
+          << "attempt " << attempt;
+      base = std::min(base * opts.backoff_multiplier, opts.max_backoff_ms);
+    }
+  }
+}
+
+TEST(RetryPolicyTest, BackoffCapsAtMax) {
+  RetryPolicy::Options opts;
+  opts.initial_backoff_ms = 1.0;
+  opts.backoff_multiplier = 10.0;
+  opts.max_backoff_ms = 25.0;
+  opts.jitter_fraction = 0.0;  // exact values
+  RetryPolicy policy(opts);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(1), 1.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(2), 10.0);
+  // 100 and 1000 both clamp to the cap.
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(3), 25.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(4), 25.0);
+}
+
+TEST(RetryPolicyTest, JitterIsAppliedAndSeedDeterministic) {
+  RetryPolicy::Options opts;
+  opts.initial_backoff_ms = 10.0;
+  opts.jitter_fraction = 0.5;
+  opts.jitter_seed = 7;
+
+  // With jitter on, repeated draws for the same attempt differ (the
+  // point of jitter is to decorrelate retry storms)...
+  RetryPolicy jittered(opts);
+  std::set<double> draws;
+  for (int i = 0; i < 20; ++i) draws.insert(jittered.BackoffMs(1));
+  EXPECT_GT(draws.size(), 1u);
+
+  // ...but the whole sequence is reproducible for a fixed seed.
+  RetryPolicy a(opts), b(opts);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.BackoffMs(1 + i % 4), b.BackoffMs(1 + i % 4));
+  }
+}
+
+TEST(RetryPolicyTest, SleepScheduleMatchesBackoffBounds) {
+  RetryPolicy::Options opts;
+  opts.max_attempts = 4;
+  opts.initial_backoff_ms = 2.0;
+  opts.backoff_multiplier = 2.0;
+  opts.max_backoff_ms = 50.0;
+  opts.jitter_fraction = 0.25;
+  std::vector<double> slept;
+  RetryPolicy policy(opts, [&](double ms) { slept.push_back(ms); });
+
+  int calls = 0;
+  const Status s = policy.Run("unit.op", [&] {
+    ++calls;
+    return Status::IOError("transient");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, opts.max_attempts);
+  // One sleep between consecutive attempts, none after the last.
+  ASSERT_EQ(slept.size(), 3u);
+  double base = opts.initial_backoff_ms;
+  for (double ms : slept) {
+    EXPECT_GE(ms, base * (1.0 - opts.jitter_fraction));
+    EXPECT_LE(ms, base * (1.0 + opts.jitter_fraction));
+    base = std::min(base * opts.backoff_multiplier, opts.max_backoff_ms);
+  }
+  EXPECT_EQ(policy.total_retries(), 3u);
+}
+
+TEST(RetryPolicyTest, NonRetryableStatusStopsImmediately) {
+  std::vector<double> slept;
+  RetryPolicy policy({}, [&](double ms) { slept.push_back(ms); });
+  int calls = 0;
+  const Status s = policy.Run("unit.op", [&] {
+    ++calls;
+    return Status::Corruption("permanent");
+  });
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
 }
 
 }  // namespace

@@ -2,7 +2,8 @@
 //
 //   saga_cli generate <out.kg> [num_persons]   build a synthetic KG
 //   saga_cli stats <kg> [--obs] [--json]        size + coverage report
-//                                               (+ observability dump)
+//                 [--health]                    (+ observability dump,
+//                                               serving health subview)
 //   saga_cli entity <kg> <name>                 entity record + facts
 //   saga_cli ask <kg> <query...>                question answering
 //   saga_cli annotate <kg> <text...>            semantic annotation
@@ -32,7 +33,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  saga_cli generate <out.kg> [num_persons]\n"
-               "  saga_cli stats <kg> [--obs] [--json]\n"
+               "  saga_cli stats <kg> [--obs] [--json] [--health]\n"
                "  saga_cli entity <kg> <name>\n"
                "  saga_cli ask <kg> <query...>\n"
                "  saga_cli annotate <kg> <text...>\n"
@@ -74,17 +75,81 @@ int CmdGenerate(int argc, char** argv) {
   return 0;
 }
 
-/// `saga_cli stats <kg> [--obs] [--json]` — KG size/coverage report.
-/// --obs additionally traces the run and prints the platform-wide
-/// observability surface (span breakdown + Prometheus metrics); --json
-/// prints the metric dump as one JSON object instead.
+/// `--health`: overload-safety surface of this process — breaker
+/// states (serving.breaker.*), admission shed counts and in-flight vs.
+/// configured limits (serving.admission.*) — rendered from the global
+/// obs registry via the prefix accessors instead of parsing the full
+/// text dump.
+void PrintServingHealth() {
+  std::printf("\n--- serving health ---\n");
+  const auto gauges =
+      obs::Registry::Global().GaugesWithPrefix("serving.breaker.");
+  bool any_breaker = false;
+  for (const auto& [name, value] : gauges) {
+    // Breaker state gauges end in `_state` (0 closed / 1 open / 2
+    // half-open); the matching `_opened` / `_rejected` counters ride
+    // along below.
+    const std::string suffix = "_state";
+    if (name.size() < suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    any_breaker = true;
+    const int state = static_cast<int>(value);
+    const char* state_name = state == 0   ? "closed"
+                             : state == 1 ? "open"
+                             : state == 2 ? "half-open"
+                                          : "?";
+    std::printf("breaker %-28s %s\n",
+                name.substr(0, name.size() - suffix.size()).c_str(),
+                state_name);
+  }
+  if (!any_breaker) {
+    std::printf("breakers: none registered in this process\n");
+  }
+  for (const auto& [name, value] :
+       obs::Registry::Global().CountersWithPrefix("serving.breaker.")) {
+    std::printf("  %-30s %lld\n", name.c_str(),
+                static_cast<long long>(value));
+  }
+
+  const auto admitted =
+      obs::Registry::Global().CountersWithPrefix("serving.admission.");
+  if (admitted.empty()) {
+    std::printf("admission: no controller active in this process\n");
+    return;
+  }
+  for (const auto& [name, value] : admitted) {
+    std::printf("%-32s %lld\n", name.c_str(),
+                static_cast<long long>(value));
+  }
+  double in_flight = 0, in_flight_low = 0, limit = 0;
+  for (const auto& [name, value] :
+       obs::Registry::Global().GaugesWithPrefix("serving.admission.")) {
+    if (name == "serving.admission.in_flight") in_flight = value;
+    if (name == "serving.admission.in_flight_low") in_flight_low = value;
+    if (name == "serving.admission.concurrency_limit") limit = value;
+  }
+  std::printf("in-flight: %.0f / %.0f slots (%.0f low-priority)\n",
+              in_flight, limit, in_flight_low);
+}
+
+/// `saga_cli stats <kg> [--obs] [--json] [--health]` — KG size/coverage
+/// report. --obs additionally traces the run and prints the
+/// platform-wide observability surface (span breakdown + Prometheus
+/// metrics); --json prints the metric dump as one JSON object instead;
+/// --health appends the serving-tier overload surface (breaker states,
+/// admission shed counts, in-flight vs. limits).
 int CmdStats(int argc, char** argv) {
   if (argc < 3) return Usage();
   bool show_obs = false;
   bool json = false;
+  bool health = false;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--obs") == 0) show_obs = true;
     if (std::strcmp(argv[i], "--json") == 0) json = show_obs = true;
+    if (std::strcmp(argv[i], "--health") == 0) health = true;
   }
   obs::SetTracingEnabled(show_obs);
 
@@ -122,6 +187,7 @@ int CmdStats(int argc, char** argv) {
                   obs::DumpAll(obs::DumpFormat::kPrometheus).c_str());
     }
   }
+  if (health) PrintServingHealth();
   return 0;
 }
 
