@@ -17,6 +17,11 @@ cd "$root" || exit 2
 
 segment='[a-z0-9_]+'
 name_re="^${segment}\.${segment}\.${segment}$"
+# Known subsystem stems (first segment). A new subsystem must be added
+# here deliberately — a typo'd stem ("integirty.scrub.passes") would
+# otherwise mint a fresh metric family that no dashboard watches.
+subsystems='annotation|bench|cli|embedding|integrity|odke|ondevice|serving|storage|version'
+subsystem_re="^(${subsystems})\."
 status=0
 
 # Emit "file:line:name" for every literal passed to the given call.
@@ -36,6 +41,9 @@ check() {
     local loc="${hit%:*}"
     if ! [[ "$name" =~ $name_re ]]; then
       echo "BAD NAME  ${loc}: ${label}(\"${name}\") — want subsystem.component.metric"
+      status=1
+    elif ! [[ "$name" =~ $subsystem_re ]]; then
+      echo "BAD STEM  ${loc}: ${label}(\"${name}\") — unknown subsystem; known: ${subsystems}"
       status=1
     elif [ -n "$extra_re" ] && ! [[ "$name" =~ $extra_re ]]; then
       echo "BAD NAME  ${loc}: ${label}(\"${name}\") — latency names must end in _ns"

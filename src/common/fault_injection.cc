@@ -100,6 +100,30 @@ Status FaultInjector::InjectOp(const std::string& point) {
   return Status::OK();
 }
 
+Status FaultInjector::InjectRead(const std::string& point, char* data,
+                                 size_t len) {
+  auto spec = Check(point);
+  if (!spec) return Status::OK();
+  switch (spec->kind) {
+    case FaultKind::kDelay:
+      SleepMillis(spec->delay_ms);
+      return Status::OK();
+    case FaultKind::kFail:
+      return Status::IOError("injected read fault at " + point);
+    case FaultKind::kCorrupt:
+    case FaultKind::kBitFlip:
+    case FaultKind::kTornWrite: {
+      if (data != nullptr && len > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        const size_t pos = rng_.Uniform(len);
+        data[pos] = static_cast<char>(data[pos] ^ (1 << rng_.Uniform(8)));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
 WriteFault FaultInjector::InjectWrite(const std::string& point,
                                       std::string* payload) {
   auto spec = Check(point);
@@ -122,7 +146,8 @@ WriteFault FaultInjector::InjectWrite(const std::string& point,
       out.write_payload = true;
       break;
     }
-    case FaultKind::kBitFlip: {
+    case FaultKind::kBitFlip:
+    case FaultKind::kCorrupt: {  // same silent mutation on a write path
       if (!payload->empty()) {
         std::lock_guard<std::mutex> lock(mu_);
         const size_t pos = rng_.Uniform(payload->size());

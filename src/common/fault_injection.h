@@ -30,6 +30,13 @@ enum class FaultKind {
   /// disk, overloaded replica) rather than a failed one. The overload
   /// harness uses this to drive breakers and hedged reads.
   kDelay,
+  /// Read-side corruption: one bit of the bytes just read is flipped
+  /// and the operation "succeeds" — models bit rot (media decay, bad
+  /// RAM, a flaky controller) surfacing between disk and the caller.
+  /// The checksummed read path (integrity subsystem) is expected to
+  /// catch it and answer kDataLoss instead of serving garbage. Only
+  /// meaningful at read-shaped points (InjectRead).
+  kCorrupt,
 };
 
 struct FaultSpec {
@@ -67,9 +74,11 @@ struct WriteFault {
 ///
 /// Fault point names used by the platform are documented in DESIGN.md
 /// ("Durability & failure model"): file.write, file.rename, file.read,
-/// file.remove, wal.open, wal.append, wal.sync, sst.build, sst.open,
-/// serving.index_build, and the latency-injectable serving hot points
-/// ann.search, kv.read, graph.traverse.
+/// file.remove, file.dirsync, wal.open, wal.append, wal.sync,
+/// sst.build, sst.open, serving.index_build, the latency-injectable
+/// serving hot points ann.search, kv.read, graph.traverse, and the
+/// read-side corruption points sstable.read_block, wal.replay,
+/// embedding.load (see DESIGN.md "Integrity & versioned deployment").
 ///
 /// Thread-safe; all state sits behind one mutex (fault paths are not
 /// hot paths once armed).
@@ -106,6 +115,13 @@ class FaultInjector {
   /// Write-shaped fault points. May truncate (torn write) or bit-flip
   /// `payload` in place; see WriteFault for what the caller must do.
   WriteFault InjectWrite(const std::string& point, std::string* payload);
+
+  /// Read-shaped fault points guarding bytes already in memory. A
+  /// kCorrupt (or kBitFlip/kTornWrite, which degrade to it) spec flips
+  /// one bit inside [data, data+len) and returns OK — the caller's
+  /// checksum verification is what must notice. kFail returns the
+  /// injected IOError; kDelay stalls then returns OK.
+  Status InjectRead(const std::string& point, char* data, size_t len);
 
   /// Times the point was consulted / times it fired (for assertions).
   uint64_t hits(const std::string& point) const;

@@ -93,6 +93,11 @@ Status WriteStringToFile(const std::string& path, std::string_view data,
                            ec.message());
   }
   if (durable) {
+    if (Faults().armed()) {
+      // Crash window between the rename and the directory fsync: the
+      // rename is in the page cache but not yet on the platter.
+      SAGA_RETURN_IF_ERROR(Faults().InjectOp("file.dirsync"));
+    }
     const std::string parent = fs::path(path).parent_path().string();
     if (!parent.empty()) SAGA_RETURN_IF_ERROR(SyncDir(parent));
   }
@@ -160,6 +165,29 @@ Status RenameFile(const std::string& from, const std::string& to) {
   return Status::OK();
 }
 
+Status RenameFileDurable(const std::string& from, const std::string& to) {
+  SAGA_RETURN_IF_ERROR(RenameFile(from, to));
+  if (Faults().armed()) {
+    SAGA_RETURN_IF_ERROR(Faults().InjectOp("file.dirsync"));
+  }
+  const std::string parent = fs::path(to).parent_path().string();
+  if (!parent.empty()) SAGA_RETURN_IF_ERROR(SyncDir(parent));
+  return Status::OK();
+}
+
+Status CopyFile(const std::string& from, const std::string& to,
+                bool durable) {
+  SAGA_ASSIGN_OR_RETURN(std::string data, ReadFileToString(from));
+  return WriteStringToFile(to, data, durable);
+}
+
+Status HardLinkOrCopyFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::create_hard_link(from, to, ec);
+  if (!ec) return Status::OK();
+  return CopyFile(from, to, /*durable=*/true);
+}
+
 Status TruncateFile(const std::string& path, uint64_t size) {
   std::error_code ec;
   fs::resize_file(path, size, ec);
@@ -186,6 +214,20 @@ Result<std::vector<std::string>> ListDir(const std::string& dir) {
   std::vector<std::string> names;
   for (const auto& entry : it) {
     if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<std::vector<std::string>> ListSubdirs(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return Status::IOError("list " + dir + ": " + ec.message());
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    if (entry.is_directory()) {
       names.push_back(entry.path().filename().string());
     }
   }

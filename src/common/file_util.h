@@ -16,7 +16,9 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// Creates/truncates `path` and writes `data` atomically (write to a temp
 /// file, then rename). With `durable` the temp file is fsync'd before the
 /// rename and the parent directory after it, so the rename itself is
-/// crash-safe. Fault points: `file.write` (payload), `file.rename`.
+/// crash-safe. Fault points: `file.write` (payload), `file.rename`,
+/// `file.dirsync` (crash between the rename and the directory fsync —
+/// the rename may or may not survive power loss).
 Status WriteStringToFile(const std::string& path, std::string_view data,
                          bool durable = false);
 
@@ -41,6 +43,24 @@ Status RemoveFileIfExists(const std::string& path);
 /// Renames `from` to `to`, replacing `to` if present. Fault point:
 /// `file.rename`.
 Status RenameFile(const std::string& from, const std::string& to);
+
+/// RenameFile + fsync of `to`'s parent directory, so the rename itself
+/// survives power loss (a plain rename lives only in the dirty
+/// directory page until the next sync). Fault points: `file.rename`,
+/// `file.dirsync` (between the two steps).
+Status RenameFileDurable(const std::string& from, const std::string& to);
+
+/// Copies `from` to `to` atomically (tmp + rename; durable when asked).
+Status CopyFile(const std::string& from, const std::string& to,
+                bool durable = false);
+
+/// Hard-links `from` as `to` (same inode — free and instant for
+/// immutable files); falls back to an atomic copy on filesystems or
+/// paths where linking fails. `to` must not exist.
+Status HardLinkOrCopyFile(const std::string& from, const std::string& to);
+
+/// Lists directory names (sorted) directly inside `dir`.
+Result<std::vector<std::string>> ListSubdirs(const std::string& dir);
 
 /// Truncates `path` to exactly `size` bytes (used by WAL recovery to cut
 /// a torn tail before appending new records behind it).

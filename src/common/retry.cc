@@ -33,7 +33,7 @@ Status RetryPolicy::Run(const std::string& op_name,
     last = op();
     if (last.ok()) return last;
     const bool worth_retry =
-        retryable ? retryable(last) : IsRetryable(last);
+        !NeverRetryable(last) && (retryable ? retryable(last) : IsRetryable(last));
     if (!worth_retry || attempt == attempts) return last;
     ++total_retries_;
     if (metrics != nullptr) metrics->IncrCounter("retry.attempts");

@@ -63,10 +63,19 @@ class RetryPolicy {
   double BackoffMs(int attempt);
 
   /// Default classification: IOError and ResourceExhausted are worth
-  /// retrying; corruption and programmer errors are not.
+  /// retrying; corruption and programmer errors are not. This is the
+  /// complete retryable set — every other StatusCode (pinned by a unit
+  /// test) is permanent from the retry layer's point of view.
   static bool IsRetryable(const Status& s) {
     return s.code() == StatusCode::kIOError ||
            s.code() == StatusCode::kResourceExhausted;
+  }
+
+  /// Statuses no predicate may override: retrying cannot help (the
+  /// same rotten bytes come back) and may mask real data loss. Checked
+  /// inside Run() even when a custom RetryablePredicate says yes.
+  static bool NeverRetryable(const Status& s) {
+    return s.code() == StatusCode::kDataLoss;
   }
 
   /// Retries performed across all Run calls on this policy.

@@ -30,6 +30,11 @@ enum class StatusCode {
   /// A dependency is temporarily refusing work (open circuit breaker,
   /// draining shard). Callers should fall back or fail fast, not queue.
   kUnavailable,
+  /// A checksum-verified read found bytes that do not match their
+  /// recorded CRC: unrecoverable corruption reached the read path.
+  /// Never retryable (re-reading rotten media yields the same bytes);
+  /// the remedy is quarantine + repair from a snapshot, not a retry.
+  kDataLoss,
 };
 
 /// Returns a short human-readable name such as "NotFound".
@@ -84,6 +89,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -103,6 +111,7 @@ class Status {
     return code_ == StatusCode::kDeadlineExceeded;
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

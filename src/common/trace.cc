@@ -42,11 +42,15 @@ uint64_t ProcessStartNs() {
 }  // namespace
 
 uint64_t MonotonicNowNs() {
+  // Capture the timebase first: on the very first call ProcessStartNs()
+  // initializes its static *after* any clock read made before it, and a
+  // now-before-start order would wrap the delta through uint64.
+  const uint64_t start = ProcessStartNs();
   const uint64_t now = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
-  return now - ProcessStartNs();
+  return now - start;
 }
 
 void SetTracingEnabled(bool enabled) {

@@ -2,10 +2,61 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
 #include "common/file_util.h"
+#include "common/metrics.h"
 #include "common/serialization.h"
+#include "storage/wal.h"  // Crc32
 
 namespace saga::embedding {
+
+namespace {
+/// v2 files open with this magic and close with a fixed32 CRC over the
+/// payload between them. v1 files start directly with the dim varint
+/// (dims are small, so a real v1 file can never begin with these four
+/// bytes) and carry no checksum.
+constexpr uint32_t kEmbMagicV2 = 0x32424D45u;  // "EMB2"
+
+struct RawFile {
+  std::string buf;
+  /// Payload view [begin, end) inside buf; CRC-verified for v2.
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Reads `path`, applies the `embedding.load` read fault, and for v2
+/// files verifies the trailing CRC (kDataLoss on mismatch).
+Result<RawFile> ReadAndVerify(const std::string& path) {
+  RawFile raw;
+  SAGA_ASSIGN_OR_RETURN(raw.buf, ReadFileToString(path));
+  if (Faults().armed() && !raw.buf.empty()) {
+    SAGA_RETURN_IF_ERROR(
+        Faults().InjectRead("embedding.load", raw.buf.data(), raw.buf.size()));
+  }
+  raw.begin = 0;
+  raw.end = raw.buf.size();
+  if (raw.buf.size() >= 8) {
+    uint32_t magic = 0;
+    BinaryReader m(raw.buf);
+    SAGA_RETURN_IF_ERROR(m.GetFixed32(&magic));
+    if (magic == kEmbMagicV2) {
+      uint32_t stored = 0;
+      BinaryReader c(std::string_view(raw.buf).substr(raw.buf.size() - 4));
+      SAGA_RETURN_IF_ERROR(c.GetFixed32(&stored));
+      raw.begin = 4;
+      raw.end = raw.buf.size() - 4;
+      const std::string_view payload(raw.buf.data() + raw.begin,
+                                     raw.end - raw.begin);
+      if (storage::Crc32(payload) != stored) {
+        SAGA_COUNTER("integrity.corruption.detected").Add();
+        return Status::DataLoss("embedding file crc mismatch: " + path);
+      }
+    }
+  }
+  return raw;
+}
+
+}  // namespace
 
 EmbeddingStore EmbeddingStore::FromTrained(
     const TrainedEmbeddings& trained, const graph_engine::GraphView& view) {
@@ -39,18 +90,24 @@ std::vector<kg::EntityId> EmbeddingStore::Ids() const {
 Status EmbeddingStore::Save(const std::string& path) const {
   std::string buf;
   BinaryWriter w(&buf);
+  w.PutFixed32(kEmbMagicV2);
   w.PutVarint64(static_cast<uint64_t>(dim_));
   w.PutVarint64(vectors_.size());
   for (kg::EntityId id : Ids()) {
     w.PutVarint64(id.value());
     w.PutFloatVector(vectors_.at(id));
   }
-  return WriteStringToFile(path, buf);
+  w.PutFixed32(storage::Crc32(std::string_view(buf).substr(4)));
+  // Durable: embedding shards are serving artifacts referenced by
+  // snapshots and version swaps, so a post-crash disappearing act
+  // would invalidate both.
+  return WriteStringToFile(path, buf, /*durable=*/true);
 }
 
 Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
-  SAGA_ASSIGN_OR_RETURN(std::string buf, ReadFileToString(path));
-  BinaryReader r(buf);
+  SAGA_ASSIGN_OR_RETURN(RawFile raw, ReadAndVerify(path));
+  BinaryReader r(
+      std::string_view(raw.buf.data() + raw.begin, raw.end - raw.begin));
   EmbeddingStore store;
   uint64_t dim = 0;
   uint64_t n = 0;
@@ -65,6 +122,14 @@ Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
     store.vectors_.emplace(kg::EntityId(id), std::move(vec));
   }
   return store;
+}
+
+Status EmbeddingStore::Verify(const std::string& path) {
+  SAGA_ASSIGN_OR_RETURN(RawFile raw, ReadAndVerify(path));
+  if (raw.begin != 0) return Status::OK();  // v2: CRC already checked
+  // Legacy v1 file: no checksum on disk, so the best available check
+  // is a full structural parse.
+  return EmbeddingStore::Load(path).status();
 }
 
 }  // namespace saga::embedding

@@ -126,7 +126,7 @@ std::vector<double> EmbeddingService::BatchSimilarity(
 
 bool EmbeddingService::PassesTypeFilter(kg::EntityId id,
                                         kg::TypeId type) const {
-  if (!type.valid()) return true;
+  if (!type.valid() || kg_ == nullptr) return true;
   for (kg::TypeId has : kg_->catalog().record(id).types) {
     if (kg_->ontology().IsSubtypeOf(has, type)) return true;
   }

@@ -1,0 +1,159 @@
+#ifndef SAGA_SERVING_VERSION_MANAGER_H_
+#define SAGA_SERVING_VERSION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "embedding/embedding_store.h"
+#include "serving/embedding_service.h"
+#include "storage/kv_store.h"
+
+namespace saga::serving {
+
+/// One immutable serving version of the graph: a KvStore (facts /
+/// entity catalog), the embedding shard, and an optional ANN-backed
+/// embedding service — loaded side by side with whatever is live and
+/// flipped in atomically. The paper's serving tier rebuilds the whole
+/// graph artifact set per growth cycle; versions are how a bad build
+/// is rejected *before* it takes traffic (§6).
+struct ServingVersion {
+  std::string id;   // directory name, e.g. "v00042"
+  std::string dir;  // version root on disk
+  std::unique_ptr<storage::KvStore> kv;
+  embedding::EmbeddingStore embeddings;
+  /// Built when LoadVersion is asked for one; null otherwise.
+  std::unique_ptr<EmbeddingService> service;
+  /// Live key count at load time (catalog size invariant input).
+  uint64_t key_count = 0;
+};
+
+/// Validated hot-swap of serving versions with automatic rollback.
+///
+/// Swap pipeline (SwapTo):
+///   1. side-by-side: the candidate is fully loaded before the live
+///      version is touched;
+///   2. canary validation: checksum pass over every candidate table,
+///      count/coverage invariants (absolute floor + max fraction of
+///      the live catalog allowed to disappear), and a sampled
+///      query-answer diff against the live version;
+///   3. RCU-style flip: Current() hands out shared_ptr copies, so
+///      in-flight requests finish on the version they started with
+///      while new requests see the new pointer;
+///   4. probation: the previous version is kept alive; if the error
+///      rate over the first `probation_requests` outcomes exceeds
+///      `rollback_error_rate`, the flip is undone automatically.
+///
+/// A rejected candidate never takes a request and the live version
+/// keeps serving throughout — validation failure is FailedPrecondition
+/// (deploy-time bug), checksum failure is DataLoss (rotted artifact).
+///
+/// Metrics: `version.swap.attempts/.committed/.rejected/.rollbacks`
+/// counters, `version.swap.probation_errors` counter and
+/// `version.serving.age_swaps` gauge (bumps per successful flip).
+class VersionManager {
+ public:
+  struct ValidationOptions {
+    /// Re-verify every block CRC of every candidate table plus the
+    /// embedding shard before the flip.
+    bool verify_checksums = true;
+    /// Candidate must hold at least this many keys.
+    uint64_t min_keys = 0;
+    /// Fraction of the live catalog a candidate may drop, in [0,1].
+    /// 0.1 = candidate must keep >= 90% of live keys.
+    double max_key_drop_fraction = 0.1;
+    /// Sampled query-answer diff: this many keys sampled from the live
+    /// version and looked up in the candidate.
+    size_t sample_queries = 16;
+    /// Max fraction of sampled lookups allowed to miss in the
+    /// candidate (changed values are expected across growth cycles;
+    /// wholesale disappearance is not).
+    double max_sample_miss_fraction = 0.25;
+    uint64_t sample_seed = 0x5A6A;
+  };
+
+  struct Options {
+    ValidationOptions validation;
+    /// Outcomes counted after a flip before the swap is considered
+    /// committed. 0 disables probation (flip is final immediately).
+    uint64_t probation_requests = 100;
+    /// Error-rate threshold over the probation window that triggers
+    /// automatic rollback.
+    double rollback_error_rate = 0.5;
+  };
+
+  struct LoadOptions {
+    storage::KvStore::Options kv;
+    /// Embedding shard file name inside the version dir; empty = none.
+    std::string embeddings_file = "embeddings.bin";
+    /// Also build an EmbeddingService (ANN index) over the shard.
+    bool build_service = false;
+    EmbeddingService::Options service;
+  };
+
+  struct Stats {
+    uint64_t attempts = 0;
+    uint64_t committed = 0;
+    uint64_t rejected = 0;
+    uint64_t rollbacks = 0;
+    uint64_t probation_errors = 0;
+    uint64_t probation_successes = 0;
+  };
+
+  explicit VersionManager(Options options);
+  VersionManager() : VersionManager(Options()) {}
+
+  /// Loads a version directory into a handle (KvStore recover + shard
+  /// load + optional index build). No effect on what is being served.
+  static Result<std::shared_ptr<ServingVersion>> LoadVersion(
+      const std::string& id, const std::string& dir,
+      const LoadOptions& options);
+
+  /// Installs the first version without a live baseline (checksum and
+  /// floor checks still apply; no diff, no probation).
+  Status Activate(std::shared_ptr<ServingVersion> version);
+
+  /// Full validated swap against the current version. On any
+  /// validation failure the candidate is rejected and the live version
+  /// keeps serving.
+  Status SwapTo(std::shared_ptr<ServingVersion> candidate);
+
+  /// The version serving new requests. Callers keep the shared_ptr for
+  /// the duration of one request — versions die only once the last
+  /// in-flight request drops its reference.
+  std::shared_ptr<const ServingVersion> Current() const;
+  std::string current_id() const;
+  std::string previous_id() const;
+
+  /// Post-swap health feedback: callers report request outcomes and
+  /// the manager rolls back if probation goes bad. Cheap no-op when no
+  /// probation is active.
+  void RecordRequestOutcome(bool ok);
+  bool InProbation() const;
+
+  Stats stats() const;
+
+ private:
+  Status Validate(const ServingVersion& candidate,
+                  const ServingVersion* live);
+  void RollbackLocked();
+
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServingVersion> current_;
+  std::shared_ptr<const ServingVersion> previous_;
+  Stats stats_;
+  bool in_probation_ = false;
+  uint64_t probation_seen_ = 0;
+  uint64_t probation_failed_ = 0;
+};
+
+}  // namespace saga::serving
+
+#endif  // SAGA_SERVING_VERSION_MANAGER_H_

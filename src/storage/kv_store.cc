@@ -135,7 +135,9 @@ void KvStore::QuarantineFile(const std::string& name) {
   const std::string from = JoinPath(dir_, name);
   const std::string to = from + kQuarantineSuffix;
   (void)RemoveFileIfExists(to);
-  Status s = RenameFile(from, to);
+  // Durable rename: a quarantine that un-happens after a crash would
+  // put a known-bad table back in the directory scan.
+  Status s = RenameFileDurable(from, to);
   if (!s.ok()) {
     SAGA_LOG(Warning) << "could not quarantine " << from << ": " << s;
   }
@@ -282,7 +284,9 @@ Status KvStore::Recover() {
     Status s = retry_.Run(
         "sst.open",
         [&]() -> Status {
-          auto r = SSTableReader::Open(path);
+          auto r = SSTableReader::Open(path,
+                                       SSTableReader::OpenOptions{
+                                           options_.read_verify});
           if (!r.ok()) return r.status();
           reader = std::move(*r);
           return Status::OK();
@@ -404,7 +408,12 @@ Result<std::string> KvStore::GetImpl(std::string_view key,
       continue;
     }
     ++stats_.sstable_probes;
-    if (auto entry = (*it)->Get(key)) {
+    // Checked probe: a CRC-failing block surfaces as kDataLoss here
+    // instead of reading as a miss and falling through to an older
+    // (stale) version of the key in a deeper table.
+    SAGA_ASSIGN_OR_RETURN(std::optional<SSTableReader::Entry> entry,
+                          (*it)->GetChecked(key));
+    if (entry.has_value()) {
       if (entry->is_tombstone) return Status::NotFound(std::string(key));
       return std::move(entry->value);
     }
@@ -417,7 +426,9 @@ Result<std::vector<std::pair<std::string, std::string>>> KvStore::ScanPrefix(
   // Newest-wins merge across memtable and all tables.
   std::map<std::string, MemTable::Entry> merged;
   for (const auto& sst : sstables_) {  // oldest first; later inserts win
-    for (auto& e : sst->ScanPrefix(prefix)) {
+    SAGA_ASSIGN_OR_RETURN(std::vector<SSTableReader::Entry> entries,
+                          sst->ScanPrefixChecked(prefix));
+    for (auto& e : entries) {
       merged[std::move(e.key)] =
           MemTable::Entry{std::move(e.value), e.is_tombstone};
     }
@@ -463,7 +474,9 @@ Result<std::shared_ptr<SSTableReader>> KvStore::BuildTableWithRetry(
           ++live_rows;
         }
         SAGA_RETURN_IF_ERROR(builder.Finish(path, live_rows));
-        auto r = SSTableReader::Open(path);
+        auto r = SSTableReader::Open(path,
+                                     SSTableReader::OpenOptions{
+                                         options_.read_verify});
         if (!r.ok()) {
           (void)RemoveFileIfExists(path);
           return r.status();
@@ -521,7 +534,12 @@ Status KvStore::CompactAll() {
   if (sstables_.size() <= 1) return Status::OK();
   std::map<std::string, MemTable::Entry, std::less<>> merged;
   for (const auto& sst : sstables_) {  // oldest first
-    for (auto& e : sst->ScanAll()) {
+    // Checked scan: compaction rewrites history, so folding a rotted
+    // block in here would launder corruption into a fresh CRC-clean
+    // table. Abort instead and leave the inputs for repair.
+    SAGA_ASSIGN_OR_RETURN(std::vector<SSTableReader::Entry> entries,
+                          sst->ScanAllChecked());
+    for (auto& e : entries) {
       merged[std::move(e.key)] =
           MemTable::Entry{std::move(e.value), e.is_tombstone};
     }
@@ -562,6 +580,33 @@ Status KvStore::CompactAll() {
   }
   ++stats_.compactions;
   return Status::OK();
+}
+
+Status KvStore::VerifyTables() const {
+  for (const auto& sst : sstables_) {
+    SAGA_RETURN_IF_ERROR(sst->VerifyChecksums());
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> KvStore::LiveTablePaths() const {
+  std::vector<std::string> paths;
+  paths.reserve(sstables_.size());
+  for (const auto& sst : sstables_) paths.push_back(sst->path());
+  return paths;
+}
+
+Result<std::vector<std::string>> ReadManifestTables(const std::string& dir) {
+  const std::string path = JoinPath(dir, kManifestName);
+  if (!FileExists(path)) {
+    return Status::NotFound("no MANIFEST in " + dir);
+  }
+  SAGA_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  auto tables = ParseManifest(data);
+  if (!tables.has_value()) {
+    return Status::Corruption("corrupt MANIFEST in " + dir);
+  }
+  return *tables;
 }
 
 }  // namespace saga::storage

@@ -43,6 +43,11 @@ class KvStore {
     bool use_wal = true;
     /// fsync after every write: an OK Put/Delete is durable.
     bool sync_every_write = false;
+    /// Per-block CRC verification on the SSTable read path (see
+    /// ReadVerifyMode). kFirstRead memoizes per block, so steady-state
+    /// cost is one relaxed atomic load; corruption surfaces as
+    /// kDataLoss instead of a silent miss or garbage value.
+    ReadVerifyMode read_verify = ReadVerifyMode::kFirstRead;
     /// When > 0, a flush that leaves more than this many SSTables
     /// triggers CompactAll automatically (simple tiered compaction,
     /// bounding read amplification).
@@ -131,8 +136,19 @@ class KvStore {
 
   /// Merges all SSTables into one, dropping tombstones and shadowed
   /// versions. Also retries removal of any files a previous compaction
-  /// failed to delete.
+  /// failed to delete. Inputs are read checksum-verified: a rotted
+  /// source block aborts the compaction with kDataLoss rather than
+  /// folding garbage into the merged table.
   Status CompactAll();
+
+  /// Re-verifies every block CRC of every live table (scrubber entry
+  /// point; ignores the first-read memo). kDataLoss names the first
+  /// bad table/block. Read-only: quarantine/repair is the caller's
+  /// call, since a repair source (snapshot) may exist.
+  Status VerifyTables() const;
+
+  /// Paths of the live tables, oldest first (for snapshots/scrub).
+  std::vector<std::string> LiveTablePaths() const;
 
   size_t num_sstables() const { return sstables_.size(); }
   size_t memtable_bytes() const { return memtable_.ApproximateBytes(); }
@@ -184,6 +200,13 @@ class KvStore {
   std::vector<std::string> pending_gc_;
   std::unique_ptr<CircuitBreaker> read_breaker_;
 };
+
+/// Reads and validates `dir`'s MANIFEST, returning the committed table
+/// file names in commit order. NotFound when no manifest exists,
+/// kCorruption when it exists but fails its CRC or header check. Used
+/// by the scrubber and snapshot tooling to learn the live set without
+/// opening the store.
+Result<std::vector<std::string>> ReadManifestTables(const std::string& dir);
 
 }  // namespace saga::storage
 

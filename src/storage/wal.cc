@@ -184,6 +184,13 @@ Result<WalReadResult> ReadWalRecordsDetailed(const std::string& path) {
   WalReadResult out;
   if (!FileExists(path)) return out;
   SAGA_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  if (Faults().armed() && !data.empty()) {
+    // `wal.replay` models on-disk rot discovered at recovery time: a
+    // kCorrupt fault flips a bit somewhere in the log image, and the
+    // per-record CRCs below turn that into a clean stop-at-damage.
+    SAGA_RETURN_IF_ERROR(
+        Faults().InjectRead("wal.replay", data.data(), data.size()));
+  }
   BinaryReader r(data);
   size_t intact_end = 0;
   while (!r.AtEnd()) {

@@ -85,7 +85,9 @@ struct WalReadResult {
 };
 
 /// Reads all intact records plus drop accounting. A missing file yields
-/// an empty, clean result (fresh database).
+/// an empty, clean result (fresh database). Fault point: `wal.replay`
+/// (kCorrupt flips a bit in the log image before parsing, exercising
+/// the stop-at-damage path).
 Result<WalReadResult> ReadWalRecordsDetailed(const std::string& path);
 
 /// Legacy convenience wrapper around ReadWalRecordsDetailed that keeps

@@ -22,9 +22,13 @@
 #include "common/rng.h"
 #include "embedding/trainer.h"
 #include "graph_engine/view.h"
+#include "integrity/scrubber.h"
+#include "integrity/snapshot.h"
 #include "kg/kg_generator.h"
 #include "serving/embedding_service.h"
 #include "storage/kv_store.h"
+#include "storage/sstable.h"
+#include "storage/wal.h"
 
 namespace saga::storage {
 namespace {
@@ -244,6 +248,167 @@ TEST_F(ChaosTest, RepeatedCrashesAcrossReopens) {
     Faults().DisarmAll();
   }
   (void)RemoveDirRecursively(*dir);
+}
+
+/// Corruption chaos: every round builds a durable store, rots one bit
+/// of a random durable artifact (a live SSTable or the WAL tail), and
+/// asserts the integrity pipeline's contract end to end:
+///   - the damage is DETECTED before any result is returned (rotted
+///     tables fail their whole-file CRC at open; rotted WAL replay
+///     stops at the clean prefix and reports it);
+///   - the scrubber REPAIRS from a snapshot when one exists (and the
+///     repair is byte-identical), QUARANTINES tables when none does,
+///     and never rewrites the WAL;
+///   - the reopened store NEVER serves garbage: every key answers its
+///     exact acknowledged value or NotFound, nothing else.
+///
+/// The bit flip goes through WriteStringToFile (tmp + rename), so the
+/// store directory gets a fresh rotted inode while the hard-linked
+/// snapshot copy keeps the clean bytes — media rot on the live
+/// replica, not on the backup.
+TEST_F(ChaosTest, CorruptionRoundsNeverServeGarbage) {
+  constexpr int kIterations = 200;
+  constexpr int kFlushedKeys = 20;
+  constexpr int kWalKeys = 6;
+  const uint64_t base_seed = ChaosBaseSeed(9001);
+  SCOPED_TRACE("replay with SAGA_CHAOS_SEED=" + std::to_string(base_seed));
+
+  int64_t repaired_rounds = 0;
+  int64_t quarantined_rounds = 0;
+  int64_t wal_rounds = 0;
+
+  for (int iter = 0; iter < kIterations; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    Rng rng(20011 * static_cast<uint64_t>(iter) + base_seed);
+    auto dir = MakeTempDir("saga_chaos_rot");
+    ASSERT_TRUE(dir.ok());
+
+    KvStore::Options opts;
+    opts.sync_every_write = true;
+    opts.read_verify = ReadVerifyMode::kAlways;
+    opts.retry.max_attempts = 1;
+
+    std::map<std::string, std::string> model;
+    {
+      auto store = KvStore::Open(*dir, opts);
+      ASSERT_TRUE(store.ok()) << store.status();
+      for (int i = 0; i < kFlushedKeys; ++i) {
+        const std::string key = "k" + std::to_string(i);
+        const std::string value =
+            "f" + std::to_string(iter) + "_" + std::to_string(i);
+        ASSERT_TRUE((*store)->Put(key, value).ok());
+        model[key] = value;
+      }
+      ASSERT_TRUE((*store)->Flush().ok());
+      for (int i = kFlushedKeys; i < kFlushedKeys + kWalKeys; ++i) {
+        const std::string key = "k" + std::to_string(i);
+        const std::string value =
+            "w" + std::to_string(iter) + "_" + std::to_string(i);
+        ASSERT_TRUE((*store)->Put(key, value).ok());
+        model[key] = value;
+      }
+    }
+
+    integrity::SnapshotManager snaps(*dir);
+    const bool have_snapshot = rng.Uniform(2) == 0;
+    if (have_snapshot) {
+      ASSERT_TRUE(snaps.Create("s0").ok());
+    }
+
+    // Pick a victim: one of the manifest's live tables, or the WAL.
+    auto tables = ReadManifestTables(*dir);
+    ASSERT_TRUE(tables.ok());
+    ASSERT_FALSE(tables->empty());
+    const bool hit_wal = rng.Uniform(4) == 0;
+    const std::string victim_name =
+        hit_wal ? "wal.log" : (*tables)[rng.Uniform(tables->size())];
+    const std::string victim = JoinPath(*dir, victim_name);
+    auto clean_bytes = ReadFileToString(victim);
+    ASSERT_TRUE(clean_bytes.ok());
+    ASSERT_FALSE(clean_bytes->empty());
+
+    std::string rotted = *clean_bytes;
+    const size_t pos = rng.Uniform(rotted.size());
+    rotted[pos] =
+        static_cast<char>(rotted[pos] ^ (1u << rng.Uniform(8)));
+    ASSERT_TRUE(WriteStringToFile(victim, rotted).ok());
+
+    // Detection before serving: the damaged artifact must announce
+    // itself, never parse quietly into different data.
+    if (hit_wal) {
+      ++wal_rounds;
+      auto wal = ReadWalRecordsDetailed(victim);
+      ASSERT_TRUE(wal.ok());
+      EXPECT_FALSE(wal->clean) << "flipped WAL bit went unnoticed";
+    } else {
+      auto r = SSTableReader::Open(
+          victim, SSTableReader::OpenOptions{ReadVerifyMode::kAlways});
+      ASSERT_FALSE(r.ok()) << "flipped SSTable bit went unnoticed";
+      EXPECT_TRUE(r.status().IsCorruption() || r.status().IsDataLoss())
+          << r.status();
+    }
+
+    // Scrub: repair from the snapshot when there is one, quarantine
+    // otherwise; WAL damage is reported but left for replay.
+    integrity::Scrubber::Options so;
+    so.snapshots = have_snapshot ? &snaps : nullptr;
+    integrity::Scrubber scrub(*dir, so);
+    ASSERT_TRUE(scrub.RunOnce().ok());
+    const auto stats = scrub.stats();
+    EXPECT_GE(stats.corrupt_found, 1u);
+    if (hit_wal) {
+      EXPECT_EQ(stats.repaired, 0u);
+      EXPECT_EQ(stats.quarantined, 0u);
+    } else if (have_snapshot) {
+      EXPECT_EQ(stats.repaired, 1u);
+      EXPECT_EQ(stats.quarantined, 0u);
+      auto healed = ReadFileToString(victim);
+      ASSERT_TRUE(healed.ok());
+      EXPECT_EQ(*healed, *clean_bytes) << "repair not byte-identical";
+      ++repaired_rounds;
+    } else {
+      EXPECT_EQ(stats.quarantined, 1u);
+      EXPECT_TRUE(FileExists(victim + ".quarantined"));
+      ++quarantined_rounds;
+    }
+
+    // Reopen: the store must come up and answer every key with its
+    // exact acknowledged value or NotFound — never something else.
+    auto store = KvStore::Open(*dir, opts);
+    ASSERT_TRUE(store.ok()) << store.status();
+    size_t missing = 0;
+    for (const auto& [key, value] : model) {
+      auto got = (*store)->Get(key);
+      if (got.ok()) {
+        EXPECT_EQ(*got, value) << "garbage served for " << key;
+      } else {
+        EXPECT_TRUE(got.status().IsNotFound()) << got.status();
+        ++missing;
+      }
+    }
+    if (!hit_wal && have_snapshot) {
+      // Table repaired, WAL untouched: nothing may be missing.
+      EXPECT_EQ(missing, 0u);
+    }
+    if (!hit_wal) {
+      // WAL untouched: its acked writes always replay.
+      for (int i = kFlushedKeys; i < kFlushedKeys + kWalKeys; ++i) {
+        const std::string key = "k" + std::to_string(i);
+        auto got = (*store)->Get(key);
+        ASSERT_TRUE(got.ok()) << "lost WAL key " << key;
+        EXPECT_EQ(*got, model[key]);
+      }
+    }
+    store->reset();
+    (void)RemoveDirRecursively(*dir);
+  }
+
+  SAGA_LOG(Info) << "corruption rounds: " << kIterations << " total, "
+                 << repaired_rounds << " repaired, " << quarantined_rounds
+                 << " quarantined, " << wal_rounds << " wal";
+  EXPECT_GT(repaired_rounds, 0);
+  EXPECT_GT(quarantined_rounds, 0);
+  EXPECT_GT(wal_rounds, 0);
 }
 
 }  // namespace

@@ -588,5 +588,52 @@ TEST(RetryPolicyTest, NonRetryableStatusStopsImmediately) {
   EXPECT_TRUE(slept.empty());
 }
 
+TEST(RetryPolicyTest, RetryableSetIsPinned) {
+  // The complete retryable set: IOError and ResourceExhausted, nothing
+  // else. Growing this set is a deliberate decision (it changes how
+  // every storage and serving retry loop behaves), so the test walks
+  // the whole StatusCode enum rather than spot-checking.
+  const StatusCode all[] = {
+      StatusCode::kOk,           StatusCode::kNotFound,
+      StatusCode::kInvalidArgument, StatusCode::kAlreadyExists,
+      StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+      StatusCode::kResourceExhausted, StatusCode::kIOError,
+      StatusCode::kCorruption,   StatusCode::kUnimplemented,
+      StatusCode::kInternal,     StatusCode::kDeadlineExceeded,
+      StatusCode::kUnavailable,  StatusCode::kDataLoss,
+  };
+  for (StatusCode code : all) {
+    const Status s(code, "x");
+    const bool expect_retryable = code == StatusCode::kIOError ||
+                                  code == StatusCode::kResourceExhausted;
+    EXPECT_EQ(RetryPolicy::IsRetryable(s), expect_retryable)
+        << StatusCodeToString(code);
+    EXPECT_EQ(RetryPolicy::NeverRetryable(s), code == StatusCode::kDataLoss)
+        << StatusCodeToString(code);
+  }
+}
+
+TEST(RetryPolicyTest, DataLossIsNeverRetriedEvenWithCustomPredicate) {
+  RetryPolicy::Options opts;
+  opts.max_attempts = 5;
+  std::vector<double> slept;
+  RetryPolicy policy(opts, [&](double ms) { slept.push_back(ms); });
+  int calls = 0;
+  // A predicate that claims everything is retryable must still lose to
+  // the kDataLoss hard gate: re-reading rotten media returns the same
+  // bytes, and retry loops hide real data loss from the caller.
+  const Status s = policy.Run(
+      "unit.op",
+      [&] {
+        ++calls;
+        return Status::DataLoss("crc mismatch");
+      },
+      /*metrics=*/nullptr, [](const Status&) { return true; });
+  EXPECT_TRUE(s.IsDataLoss());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+  EXPECT_EQ(policy.total_retries(), 0u);
+}
+
 }  // namespace
 }  // namespace saga

@@ -8,9 +8,16 @@
 //   saga_cli ask <kg> <query...>                question answering
 //   saga_cli annotate <kg> <text...>            semantic annotation
 //   saga_cli related <kg> <name> [k]            related entities (PPR)
+//   saga_cli snapshot create <store> <name>     point-in-time snapshot
+//   saga_cli snapshot list <store>              list snapshots
+//   saga_cli snapshot verify <store> <name>     prove a snapshot intact
+//   saga_cli snapshot restore <store> <name>    restore into the store
+//   saga_cli scrub <store>                      one integrity pass
+//                                               (repairs from snapshots)
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <string>
 
 #include "annotation/annotator.h"
@@ -20,6 +27,8 @@
 #include "common/trace.h"
 #include "embedding/embedding_store.h"
 #include "graph_engine/view.h"
+#include "integrity/scrubber.h"
+#include "integrity/snapshot.h"
 #include "kg/kg_generator.h"
 #include "kg/knowledge_graph.h"
 #include "odke/profiler.h"
@@ -37,7 +46,10 @@ int Usage() {
                "  saga_cli entity <kg> <name>\n"
                "  saga_cli ask <kg> <query...>\n"
                "  saga_cli annotate <kg> <text...>\n"
-               "  saga_cli related <kg> <name> [k]\n");
+               "  saga_cli related <kg> <name> [k]\n"
+               "  saga_cli snapshot create|list|verify|restore <store> "
+               "[name]\n"
+               "  saga_cli scrub <store>\n");
   return 2;
 }
 
@@ -135,6 +147,132 @@ void PrintServingHealth() {
               in_flight, limit, in_flight_low);
 }
 
+/// Integrity & versioned-deployment surface of this process: corruption
+/// counters (detected/repaired/quarantined), scrubber progress, and
+/// version-swap history, all from the global obs registry. In a serving
+/// process these are live; in a fresh CLI process they are zero unless
+/// a command (scrub, snapshot verify) ran first.
+void PrintIntegrityHealth() {
+  std::printf("\n--- integrity health ---\n");
+  const auto counters =
+      obs::Registry::Global().CountersWithPrefix("integrity.");
+  if (counters.empty()) {
+    std::printf("integrity: no scrubber/verification activity recorded\n");
+  }
+  for (const auto& [name, value] : counters) {
+    std::printf("%-40s %lld\n", name.c_str(),
+                static_cast<long long>(value));
+  }
+  for (const auto& [name, value] :
+       obs::Registry::Global().GaugesWithPrefix("integrity.")) {
+    if (name == "integrity.scrub.last_pass_unix_ms" && value > 0) {
+      const auto secs = static_cast<time_t>(value / 1000.0);
+      char buf[64];
+      std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S",
+                    std::localtime(&secs));
+      std::printf("%-40s %s\n", name.c_str(), buf);
+    } else {
+      std::printf("%-40s %.0f\n", name.c_str(), value);
+    }
+  }
+  const auto version_counters =
+      obs::Registry::Global().CountersWithPrefix("version.");
+  if (!version_counters.empty()) {
+    std::printf("\n--- versioned deployment ---\n");
+    for (const auto& [name, value] : version_counters) {
+      std::printf("%-40s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    }
+  }
+}
+
+int CmdSnapshot(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string sub = argv[2];
+  integrity::SnapshotManager snapshots(argv[3]);
+  if (sub == "list") {
+    auto names = snapshots.List();
+    if (!names.ok()) {
+      std::fprintf(stderr, "%s\n", names.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& name : *names) {
+      auto info = snapshots.Info(name);
+      if (info.ok()) {
+        std::printf("%-32s %zu files, %llu bytes\n", name.c_str(),
+                    info->num_files,
+                    static_cast<unsigned long long>(info->total_bytes));
+      } else {
+        std::printf("%-32s (unreadable: %s)\n", name.c_str(),
+                    info.status().ToString().c_str());
+      }
+    }
+    return 0;
+  }
+  if (argc < 5) return Usage();
+  const std::string name = argv[4];
+  if (sub == "create") {
+    auto info = snapshots.Create(name);
+    if (!info.ok()) {
+      std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot %s: %zu files, %llu bytes\n", name.c_str(),
+                info->num_files,
+                static_cast<unsigned long long>(info->total_bytes));
+    return 0;
+  }
+  if (sub == "verify") {
+    const Status s = snapshots.Verify(name);
+    if (!s.ok()) {
+      std::fprintf(stderr, "snapshot %s FAILED verification: %s\n",
+                   name.c_str(), s.ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot %s verified clean\n", name.c_str());
+    return 0;
+  }
+  if (sub == "restore") {
+    const Status s = snapshots.Restore(name);
+    if (!s.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("restored snapshot %s into %s\n", name.c_str(), argv[3]);
+    return 0;
+  }
+  return Usage();
+}
+
+int CmdScrub(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  integrity::SnapshotManager snapshots(argv[2]);
+  integrity::Scrubber::Options opts;
+  opts.snapshots = &snapshots;
+  integrity::Scrubber scrubber(argv[2], opts);
+  const Status s = scrubber.RunOnce();
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const auto stats = scrubber.stats();
+  std::printf("scrubbed %llu files (%llu bytes): %llu corrupt, "
+              "%llu repaired, %llu quarantined\n",
+              static_cast<unsigned long long>(stats.files_scanned),
+              static_cast<unsigned long long>(stats.bytes_scanned),
+              static_cast<unsigned long long>(stats.corrupt_found),
+              static_cast<unsigned long long>(stats.repaired),
+              static_cast<unsigned long long>(stats.quarantined));
+  for (const auto& [file, unix_ms] : stats.last_verified_unix_ms) {
+    const auto secs = static_cast<time_t>(unix_ms / 1000);
+    char buf[64];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S",
+                  std::localtime(&secs));
+    std::printf("  verified %-28s %s\n", file.c_str(), buf);
+  }
+  return stats.corrupt_found > stats.repaired ? 1 : 0;
+}
+
 /// `saga_cli stats <kg> [--obs] [--json] [--health]` — KG size/coverage
 /// report. --obs additionally traces the run and prints the
 /// platform-wide observability surface (span breakdown + Prometheus
@@ -187,7 +325,10 @@ int CmdStats(int argc, char** argv) {
                   obs::DumpAll(obs::DumpFormat::kPrometheus).c_str());
     }
   }
-  if (health) PrintServingHealth();
+  if (health) {
+    PrintServingHealth();
+    PrintIntegrityHealth();
+  }
   return 0;
 }
 
@@ -319,6 +460,8 @@ int Main(int argc, char** argv) {
   if (cmd == "ask") return CmdAsk(argc, argv);
   if (cmd == "annotate") return CmdAnnotate(argc, argv);
   if (cmd == "related") return CmdRelated(argc, argv);
+  if (cmd == "snapshot") return CmdSnapshot(argc, argv);
+  if (cmd == "scrub") return CmdScrub(argc, argv);
   return Usage();
 }
 
