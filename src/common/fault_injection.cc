@@ -62,6 +62,17 @@ uint64_t FaultInjector::fires(const std::string& point) const {
   return it == fires_.end() ? 0 : it->second;
 }
 
+std::vector<std::string> FaultInjector::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [name, armed] : points_) {
+    (void)armed;
+    out.push_back(name);
+  }
+  return out;  // std::map iterates sorted
+}
+
 std::optional<FaultSpec> FaultInjector::Check(const std::string& point) {
   std::lock_guard<std::mutex> lock(mu_);
   ++hits_[point];
@@ -100,6 +111,35 @@ Status FaultInjector::InjectOp(const std::string& point) {
   return Status::OK();
 }
 
+TransportFault FaultInjector::InjectTransport(const std::string& point) {
+  TransportFault out;
+  auto spec = Check(point);
+  if (!spec) return out;
+  switch (spec->kind) {
+    case FaultKind::kDelay:
+      out.action = TransportFaultAction::kDelay;
+      out.delay_ms = spec->delay_ms;
+      break;
+    case FaultKind::kDuplicate:
+      out.action = TransportFaultAction::kDuplicate;
+      break;
+    case FaultKind::kReorder:
+      out.action = TransportFaultAction::kReorder;
+      break;
+    case FaultKind::kFail:
+    case FaultKind::kDrop:
+    case FaultKind::kPartition:
+    // A garbled frame fails its checksum at the receiver and is
+    // discarded — from the sender's point of view, a drop.
+    case FaultKind::kTornWrite:
+    case FaultKind::kBitFlip:
+    case FaultKind::kCorrupt:
+      out.action = TransportFaultAction::kDrop;
+      break;
+  }
+  return out;
+}
+
 Status FaultInjector::InjectRead(const std::string& point, char* data,
                                  size_t len) {
   auto spec = Check(point);
@@ -109,6 +149,11 @@ Status FaultInjector::InjectRead(const std::string& point, char* data,
       SleepMillis(spec->delay_ms);
       return Status::OK();
     case FaultKind::kFail:
+    // Network kinds degrade to a plain failure on a disk-shaped path.
+    case FaultKind::kDrop:
+    case FaultKind::kDuplicate:
+    case FaultKind::kReorder:
+    case FaultKind::kPartition:
       return Status::IOError("injected read fault at " + point);
     case FaultKind::kCorrupt:
     case FaultKind::kBitFlip:
@@ -134,6 +179,11 @@ WriteFault FaultInjector::InjectWrite(const std::string& point,
       SleepMillis(spec->delay_ms);
       break;  // stalled, but the write proceeds untouched
     case FaultKind::kFail:
+    // Network kinds degrade to a plain failure on a disk-shaped path.
+    case FaultKind::kDrop:
+    case FaultKind::kDuplicate:
+    case FaultKind::kReorder:
+    case FaultKind::kPartition:
       out.fail = true;
       out.write_payload = false;
       break;
@@ -165,6 +215,33 @@ WriteFault FaultInjector::InjectWrite(const std::string& point,
 FaultInjector& Faults() {
   static FaultInjector* injector = new FaultInjector();
   return *injector;
+}
+
+const std::vector<FaultPointInfo>& KnownFaultPoints() {
+  static const std::vector<FaultPointInfo>* kPoints =
+      new std::vector<FaultPointInfo>{
+          {"file.write", "write", "generic file write (SSTable/manifest tmp)"},
+          {"file.rename", "op", "atomic commit rename"},
+          {"file.read", "op", "whole-file read into memory"},
+          {"file.remove", "op", "stale file removal"},
+          {"file.dirsync", "op", "directory fsync after create/rename"},
+          {"wal.open", "op", "WAL open/create"},
+          {"wal.append", "write", "WAL record append (torn-tail capable)"},
+          {"wal.sync", "op", "WAL fsync"},
+          {"wal.replay", "read", "WAL image read at recovery"},
+          {"sst.build", "write", "SSTable build stream"},
+          {"sst.open", "op", "SSTable open"},
+          {"sstable.read_block", "read", "SSTable block read (CRC-checked)"},
+          {"embedding.load", "read", "embedding shard load (CRC-checked)"},
+          {"serving.index_build", "op", "ANN index construction"},
+          {"ann.search", "op", "accelerated ANN search (latency/fault)"},
+          {"kv.read", "op", "KvStore serving read (latency/fault)"},
+          {"graph.traverse", "op", "graph traversal step (latency/fault)"},
+          {"transport.send", "transport",
+           "replication message send (drop/duplicate/reorder/delay/"
+           "partition)"},
+      };
+  return *kPoints;
 }
 
 }  // namespace saga

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -37,6 +38,23 @@ enum class FaultKind {
   /// catch it and answer kDataLoss instead of serving garbage. Only
   /// meaningful at read-shaped points (InjectRead).
   kCorrupt,
+  /// Network kinds, meaningful at transport-shaped points
+  /// (InjectTransport; the replication tier's SimTransport consults
+  /// `transport.send`). At non-transport points they degrade to the
+  /// nearest disk-shaped behavior (kFail).
+  ///
+  /// The message is silently lost in flight; the sender learns only
+  /// through missing acks/timeouts.
+  kDrop,
+  /// The message is delivered twice — receivers must be idempotent.
+  kDuplicate,
+  /// The message is held back and delivered after later traffic on the
+  /// same link (out-of-order delivery).
+  kReorder,
+  /// The link behaves as fully partitioned: every eligible message is
+  /// dropped until the point is disarmed. Semantically kDrop with
+  /// repeat, kept distinct so chaos schedules read naturally.
+  kPartition,
 };
 
 struct FaultSpec {
@@ -53,6 +71,31 @@ struct FaultSpec {
   /// When false (default) the spec disarms itself after firing once;
   /// when true it keeps firing on every eligible hit >= fail_nth.
   bool repeat = false;
+};
+
+/// What a transport-shaped fault point tells the caller to do with the
+/// message it is about to deliver.
+enum class TransportFaultAction {
+  kNone,       // deliver normally
+  kDrop,       // lose the message silently
+  kDuplicate,  // deliver it twice
+  kReorder,    // deliver it after later traffic on the link
+  kDelay,      // deliver it `delay_ms` late
+};
+
+struct TransportFault {
+  TransportFaultAction action = TransportFaultAction::kNone;
+  /// kDelay: how late the message lands.
+  double delay_ms = 0.0;
+};
+
+/// One entry in the static catalog of fault points the platform
+/// exposes (see KnownFaultPoints). `shape` is which Inject* call
+/// guards it: "op", "write", "read", or "transport".
+struct FaultPointInfo {
+  const char* name;
+  const char* shape;
+  const char* description;
 };
 
 /// Outcome of a fault check at a write-shaped fault point.
@@ -123,9 +166,22 @@ class FaultInjector {
   /// injected IOError; kDelay stalls then returns OK.
   Status InjectRead(const std::string& point, char* data, size_t len);
 
+  /// Transport-shaped fault points (message sends on the simulated
+  /// network). Never sleeps — a kDelay spec is returned as a
+  /// TransportFaultAction::kDelay so the transport can schedule the
+  /// late delivery on its own logical clock instead of stalling the
+  /// sender. kFail/kPartition degrade to kDrop (a frame that never
+  /// arrives); kBitFlip/kCorrupt/kTornWrite also degrade to kDrop (a
+  /// garbled frame fails its checksum and is discarded by the
+  /// receiver).
+  TransportFault InjectTransport(const std::string& point);
+
   /// Times the point was consulted / times it fired (for assertions).
   uint64_t hits(const std::string& point) const;
   uint64_t fires(const std::string& point) const;
+
+  /// Currently armed point names, sorted (for `saga_cli faults list`).
+  std::vector<std::string> ArmedPoints() const;
 
  private:
   struct Armed {
@@ -147,6 +203,12 @@ class FaultInjector {
 
 /// Process-wide injector instance shared by all guarded IO edges.
 FaultInjector& Faults();
+
+/// Static catalog of every fault point the platform guards, so chaos
+/// runs (and `saga_cli faults list`) can discover injection sites
+/// without grepping the source. Kept in sync with the call sites by
+/// fault_injection_test's catalog cross-check.
+const std::vector<FaultPointInfo>& KnownFaultPoints();
 
 /// RAII arm/disarm of one fault point.
 class ScopedFault {

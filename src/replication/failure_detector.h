@@ -1,0 +1,76 @@
+#ifndef SAGA_REPLICATION_FAILURE_DETECTOR_H_
+#define SAGA_REPLICATION_FAILURE_DETECTOR_H_
+
+#include <cstdint>
+
+namespace saga::replication {
+
+/// Heartbeat-based failure detector over the group's logical clock.
+///
+/// The monitored peer is expected to be heard from (heartbeat, append,
+/// ack — any message counts) at least once per `timeout_ms`. Every
+/// elapsed timeout window without contact adds one suspicion; at
+/// `suspicion_threshold` the peer is Suspected(). A single late packet
+/// is therefore never enough to declare a peer dead — with the default
+/// threshold of 3 the peer must stay silent for three full windows —
+/// while a real crash or partition is detected in bounded time:
+/// timeout_ms * suspicion_threshold after the last contact.
+///
+/// Any contact resets suspicion to zero (trust recovers instantly;
+/// distrust accumulates). Used twice in the tier: followers monitor
+/// the leader (an expired detector starts an election) and the leader
+/// monitors each follower (suspected followers are excluded from
+/// serving reads until they ack again).
+class FailureDetector {
+ public:
+  struct Options {
+    double timeout_ms = 50.0;
+    int suspicion_threshold = 3;
+  };
+
+  FailureDetector() : FailureDetector(Options()) {}
+  explicit FailureDetector(Options options) : options_(options) {}
+
+  /// Contact from the monitored peer: resets suspicion and restarts
+  /// the current timeout window at `now_ms`.
+  void RecordContact(double now_ms) {
+    last_contact_ms_ = now_ms;
+    window_start_ms_ = now_ms;
+    suspicion_ = 0;
+  }
+
+  /// Forgets all history (fresh peer, or a role change): the first
+  /// window starts at `now_ms`.
+  void Reset(double now_ms) { RecordContact(now_ms); }
+
+  /// Advances the detector to `now_ms`, accumulating one suspicion per
+  /// fully elapsed silent timeout window. Returns true when the
+  /// suspicion threshold is crossed *by this call* (edge trigger, so
+  /// the caller starts exactly one election per detection).
+  bool Tick(double now_ms) {
+    const bool was_suspected = Suspected();
+    while (now_ms - window_start_ms_ >= options_.timeout_ms) {
+      window_start_ms_ += options_.timeout_ms;
+      ++suspicion_;
+    }
+    return !was_suspected && Suspected();
+  }
+
+  bool Suspected() const {
+    return suspicion_ >= options_.suspicion_threshold;
+  }
+
+  int suspicion() const { return suspicion_; }
+  double last_contact_ms() const { return last_contact_ms_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  double last_contact_ms_ = 0;
+  double window_start_ms_ = 0;
+  int suspicion_ = 0;
+};
+
+}  // namespace saga::replication
+
+#endif  // SAGA_REPLICATION_FAILURE_DETECTOR_H_

@@ -1,0 +1,73 @@
+#ifndef SAGA_REPLICATION_MESSAGE_H_
+#define SAGA_REPLICATION_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace saga::replication {
+
+/// One entry of a replicated log. `seq` is the leader-assigned
+/// monotonic sequence number, `epoch` the leadership epoch under which
+/// the entry was first appended. An empty payload is a leadership
+/// no-op (appended by a freshly elected leader so the current-epoch
+/// commit rule can advance past inherited entries); appliers skip it.
+struct LogRecord {
+  uint64_t seq = 0;
+  uint64_t epoch = 0;
+  std::string payload;
+
+  bool is_noop() const { return payload.empty(); }
+};
+
+enum class MessageType : uint8_t {
+  /// Leader -> follower: records from `prev_seq + 1`, or an empty
+  /// heartbeat carrying only `commit_seq`. Every append doubles as a
+  /// heartbeat for the follower's failure detector.
+  kAppend,
+  /// Follower -> leader: outcome of an append, with the follower's
+  /// log end so the leader can advance or back up its ship cursor.
+  kAppendAck,
+  /// Candidate -> peers: request a vote for `epoch`; carries the
+  /// candidate's log end for the catch-up restriction.
+  kVoteRequest,
+  /// Peer -> candidate: vote outcome for `epoch`.
+  kVoteReply,
+};
+
+/// The one wire message of the replication protocol. A single struct
+/// (rather than a variant hierarchy) keeps the simulated transport
+/// trivially copyable for duplicate/reorder faults; unused fields stay
+/// zero for a given `type`.
+struct Message {
+  MessageType type = MessageType::kAppend;
+  int from = -1;
+  int to = -1;
+  /// Sender's epoch; every receiver first fences on this.
+  uint64_t epoch = 0;
+
+  // --- kAppend ---
+  /// Log position immediately before `records[0]`; (prev_seq,
+  /// prev_epoch) must match the follower's entry at prev_seq or the
+  /// append is rejected (divergence / gap).
+  uint64_t prev_seq = 0;
+  uint64_t prev_epoch = 0;
+  std::vector<LogRecord> records;
+  /// Leader's commit index at send time.
+  uint64_t commit_seq = 0;
+
+  // --- kAppendAck / kVoteReply ---
+  bool success = false;
+  /// Acker's log end after processing (ship-cursor hint), or the
+  /// voter's log end.
+  uint64_t last_seq = 0;
+
+  // --- kVoteRequest ---
+  /// Candidate's log end, compared lexicographically as
+  /// (last_epoch, last_seq) for the election restriction.
+  uint64_t last_epoch = 0;
+};
+
+}  // namespace saga::replication
+
+#endif  // SAGA_REPLICATION_MESSAGE_H_

@@ -1,0 +1,159 @@
+#include "replication/sim_transport.h"
+
+#include <algorithm>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+
+namespace saga::replication {
+
+SimTransport::SimTransport(Options options)
+    : options_(options), rng_(options.seed) {}
+
+void SimTransport::Register(int node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void SimTransport::Enqueue(const Message& m, double deliver_at_ms) {
+  queue_.push_back(InFlight{deliver_at_ms, next_tie_++, m});
+}
+
+void SimTransport::Send(const Message& m, double now_ms) {
+  ++stats_.sent;
+  SAGA_COUNTER("replication.transport.sent").Add();
+  if (Partitioned(m.from, m.to)) {
+    ++stats_.partitioned;
+    SAGA_COUNTER("replication.transport.partitioned").Add();
+    return;
+  }
+
+  double deliver_at = now_ms + options_.base_delay_ms;
+  if (options_.jitter_ms > 0) {
+    deliver_at += rng_.UniformDouble(0, options_.jitter_ms);
+  }
+  bool duplicate = false;
+  bool reorder = false;
+
+  // Layer 1: per-link probabilistic faults from the transport's seed.
+  if (options_.drop_probability > 0 &&
+      rng_.Bernoulli(options_.drop_probability)) {
+    ++stats_.dropped;
+    SAGA_COUNTER("replication.transport.dropped").Add();
+    return;
+  }
+  if (options_.duplicate_probability > 0 &&
+      rng_.Bernoulli(options_.duplicate_probability)) {
+    duplicate = true;
+  }
+  if (options_.reorder_probability > 0 &&
+      rng_.Bernoulli(options_.reorder_probability)) {
+    reorder = true;
+  }
+
+  // Layer 2: the process-wide injector (`transport.send`), same
+  // arming surface as every disk fault point.
+  if (Faults().armed()) {
+    const TransportFault f = Faults().InjectTransport("transport.send");
+    switch (f.action) {
+      case TransportFaultAction::kNone:
+        break;
+      case TransportFaultAction::kDrop:
+        ++stats_.dropped;
+        SAGA_COUNTER("replication.transport.dropped").Add();
+        return;
+      case TransportFaultAction::kDuplicate:
+        duplicate = true;
+        break;
+      case TransportFaultAction::kReorder:
+        reorder = true;
+        break;
+      case TransportFaultAction::kDelay:
+        deliver_at += f.delay_ms;
+        break;
+    }
+  }
+
+  if (reorder) {
+    // Land after traffic sent later on the same link: push delivery
+    // past the base delay by a seeded spread.
+    deliver_at +=
+        rng_.UniformDouble(0, std::max(options_.reorder_spread_ms, 0.001));
+    ++stats_.reordered;
+    SAGA_COUNTER("replication.transport.reordered").Add();
+  }
+  Enqueue(m, deliver_at);
+  if (duplicate) {
+    ++stats_.duplicated;
+    SAGA_COUNTER("replication.transport.duplicated").Add();
+    Enqueue(m, deliver_at +
+                   rng_.UniformDouble(0, std::max(options_.reorder_spread_ms,
+                                                  0.001)));
+  }
+}
+
+size_t SimTransport::DeliverDue(double now_ms) {
+  // Split due / not-due first: handlers may Send() reentrantly, and
+  // those messages must wait for a later pump (a reply can never
+  // outrun the message it answers).
+  std::vector<InFlight> due;
+  std::vector<InFlight> later;
+  later.reserve(queue_.size());
+  for (InFlight& f : queue_) {
+    if (f.deliver_at_ms <= now_ms) {
+      due.push_back(std::move(f));
+    } else {
+      later.push_back(std::move(f));
+    }
+  }
+  queue_ = std::move(later);
+  std::sort(due.begin(), due.end(), [](const InFlight& a, const InFlight& b) {
+    return a.deliver_at_ms != b.deliver_at_ms
+               ? a.deliver_at_ms < b.deliver_at_ms
+               : a.tie < b.tie;
+  });
+  size_t delivered = 0;
+  for (const InFlight& f : due) {
+    // A cut made after the send still swallows in-flight frames.
+    if (Partitioned(f.msg.from, f.msg.to)) {
+      ++stats_.partitioned;
+      SAGA_COUNTER("replication.transport.partitioned").Add();
+      continue;
+    }
+    auto it = handlers_.find(f.msg.to);
+    if (it == handlers_.end() || !it->second) continue;
+    it->second(f.msg);
+    ++delivered;
+    ++stats_.delivered;
+    SAGA_COUNTER("replication.transport.delivered").Add();
+  }
+  return delivered;
+}
+
+void SimTransport::Partition(int a, int b) {
+  if (a == b) return;
+  cuts_.insert(LinkKey(a, b));
+}
+
+void SimTransport::PartitionNode(int n, int num_nodes) {
+  for (int i = 0; i < num_nodes; ++i) {
+    if (i != n) cuts_.insert(LinkKey(n, i));
+  }
+}
+
+void SimTransport::Heal(int a, int b) { cuts_.erase(LinkKey(a, b)); }
+
+void SimTransport::HealAll() { cuts_.clear(); }
+
+bool SimTransport::Partitioned(int a, int b) const {
+  return cuts_.count(LinkKey(a, b)) > 0;
+}
+
+void SimTransport::SetFaultProfile(double drop_p, double duplicate_p,
+                                   double reorder_p, double jitter_ms) {
+  options_.drop_probability = drop_p;
+  options_.duplicate_probability = duplicate_p;
+  options_.reorder_probability = reorder_p;
+  options_.jitter_ms = jitter_ms;
+}
+
+}  // namespace saga::replication

@@ -1,0 +1,131 @@
+#ifndef SAGA_REPLICATION_SIM_TRANSPORT_H_
+#define SAGA_REPLICATION_SIM_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "replication/message.h"
+
+namespace saga::replication {
+
+/// Deterministic in-process network for a replica group.
+///
+/// Every Send() stamps the message with a logical delivery time and
+/// queues it; DeliverDue(now) hands all due messages to the registered
+/// handlers in (deliver_at, enqueue order) — so a fixed seed and a
+/// fixed call sequence replay the exact same delivery schedule, fault
+/// for fault. No threads, no wall clock: the replica group advances a
+/// logical clock and pumps the queue, which is what makes 200-round
+/// chaos schedules replayable from one printed seed (and trivially
+/// TSan-clean).
+///
+/// Faults come from three layers, all seeded:
+///  - structural partitions (Partition/PartitionNode/Heal*): messages
+///    crossing a cut are dropped — checked both at send and at
+///    delivery, so healing mid-flight does not resurrect frames that
+///    were in a dead link;
+///  - per-link probabilistic faults (Options: drop / duplicate /
+///    reorder / extra-delay), drawn from the transport's own Rng;
+///  - the process-wide injector: when armed, every send consults the
+///    `transport.send` fault point, so chaos tests arm
+///    FaultKind::kDrop / kDuplicate / kReorder / kDelay / kPartition
+///    exactly like disk faults.
+///
+/// Handlers may Send() reentrantly (a replica acking an append);
+/// those messages are queued with fresh delivery times and land on a
+/// later pump, never inside the same delivery instant — replies can
+/// not outrun the message they answer.
+class SimTransport {
+ public:
+  struct Options {
+    uint64_t seed = 0x5EED;
+    /// Base one-way latency stamped on every message.
+    double base_delay_ms = 1.0;
+    /// Probabilistic per-message faults (0 disables each).
+    double drop_probability = 0.0;
+    double duplicate_probability = 0.0;
+    double reorder_probability = 0.0;
+    /// Uniform extra latency in [0, jitter_ms) added per message.
+    double jitter_ms = 0.0;
+    /// How late a reordered (or duplicated) copy lands, relative to
+    /// base delay: uniform in (0, reorder_spread_ms].
+    double reorder_spread_ms = 5.0;
+  };
+
+  struct Stats {
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;      // probabilistic + injector drops
+    uint64_t duplicated = 0;
+    uint64_t reordered = 0;
+    uint64_t partitioned = 0;  // drops caused by a structural cut
+  };
+
+  using Handler = std::function<void(const Message&)>;
+
+  SimTransport() : SimTransport(Options()) {}
+  explicit SimTransport(Options options);
+
+  SimTransport(const SimTransport&) = delete;
+  SimTransport& operator=(const SimTransport&) = delete;
+
+  /// Registers (or replaces) the delivery handler for `node`.
+  void Register(int node, Handler handler);
+
+  /// Queues `m` for delivery at now + latency, applying faults.
+  /// `now_ms` is the sender's logical clock.
+  void Send(const Message& m, double now_ms);
+
+  /// Delivers every queued message with deliver_at <= now_ms, in
+  /// deterministic order. Returns the number delivered.
+  size_t DeliverDue(double now_ms);
+
+  /// Undelivered messages still in the queue.
+  size_t Pending() const { return queue_.size(); }
+
+  // --- structural partitions ---
+  /// Cuts the (bidirectional) link between a and b.
+  void Partition(int a, int b);
+  /// Cuts every link touching `n` (node isolated / killed NIC).
+  void PartitionNode(int n, int num_nodes);
+  void Heal(int a, int b);
+  void HealAll();
+  bool Partitioned(int a, int b) const;
+
+  /// Replaces the probabilistic fault knobs (seed/base delay keep
+  /// their constructor values). Chaos rounds re-roll these per round.
+  void SetFaultProfile(double drop_p, double duplicate_p, double reorder_p,
+                       double jitter_ms);
+
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct InFlight {
+    double deliver_at_ms = 0;
+    uint64_t tie = 0;  // enqueue order, breaks deliver_at ties
+    Message msg;
+  };
+
+  static std::pair<int, int> LinkKey(int a, int b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+  void Enqueue(const Message& m, double deliver_at_ms);
+
+  Options options_;
+  Rng rng_;
+  std::map<int, Handler> handlers_;
+  std::vector<InFlight> queue_;
+  std::set<std::pair<int, int>> cuts_;
+  uint64_t next_tie_ = 0;
+  Stats stats_;
+};
+
+}  // namespace saga::replication
+
+#endif  // SAGA_REPLICATION_SIM_TRANSPORT_H_

@@ -1,0 +1,34 @@
+#include "serving/replica_router.h"
+
+#include "common/metrics.h"
+
+namespace saga::serving {
+
+int ReplicaRouter::PickRead(const std::vector<ReplicaView>& replicas) {
+  int leader = -1;
+  std::vector<int> eligible;
+  eligible.reserve(replicas.size());
+  for (const ReplicaView& r : replicas) {
+    if (r.is_leader && r.healthy) leader = r.id;
+    if (r.is_leader || !options_.prefer_followers) continue;
+    if (!r.healthy || r.lag_records > options_.max_staleness_records) {
+      ++stats_.stale_skips;
+      SAGA_COUNTER("serving.replica_router.stale_skips").Add();
+      continue;
+    }
+    eligible.push_back(r.id);
+  }
+  if (!eligible.empty()) {
+    ++stats_.follower_reads;
+    SAGA_COUNTER("serving.replica_router.follower_reads").Add();
+    return eligible[rr_++ % eligible.size()];
+  }
+  if (leader >= 0) {
+    ++stats_.leader_reads;
+    SAGA_COUNTER("serving.replica_router.leader_reads").Add();
+    return leader;
+  }
+  return -1;
+}
+
+}  // namespace saga::serving

@@ -1,0 +1,72 @@
+#ifndef SAGA_SERVING_REPLICA_ROUTER_H_
+#define SAGA_SERVING_REPLICA_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace saga::serving {
+
+/// Read-routing policy for a replica group: spread reads over healthy
+/// followers whose replication lag is inside the staleness bound, fall
+/// back to the leader for everything else.
+///
+/// The router is deliberately decoupled from saga::replication — it
+/// consumes a plain snapshot of per-replica state (ReplicaView) so the
+/// serving tier (embedding cache / KV reads) can route against any
+/// source of replica health: the in-process ReplicaGroup today, a real
+/// cluster membership service later.
+///
+/// Guarantee the chaos suite pins: PickRead never returns a follower
+/// whose `lag_records` exceeds `max_staleness_records`, and never one
+/// marked unhealthy (down or suspected by the leader's failure
+/// detector) — such reads land on the leader instead. Reads from a
+/// chosen follower are therefore bounded-stale: at most
+/// `max_staleness_records` behind the group commit index at routing
+/// time, and never from a divergent (uncommitted) tail, since lag is
+/// measured in committed records.
+class ReplicaRouter {
+ public:
+  struct ReplicaView {
+    int id = -1;
+    bool is_leader = false;
+    /// Alive and not suspected by the leader's per-peer detector.
+    bool healthy = false;
+    /// Committed records this replica is behind the group commit.
+    uint64_t lag_records = 0;
+  };
+
+  struct Options {
+    /// Max committed-record lag a follower may have and still serve.
+    uint64_t max_staleness_records = 64;
+    /// When false, all reads go to the leader (strongest reads at the
+    /// cost of leader load).
+    bool prefer_followers = true;
+  };
+
+  struct Stats {
+    uint64_t follower_reads = 0;
+    uint64_t leader_reads = 0;
+    /// Followers skipped for lag or health on the way to a decision.
+    uint64_t stale_skips = 0;
+  };
+
+  ReplicaRouter() : ReplicaRouter(Options()) {}
+  explicit ReplicaRouter(Options options) : options_(options) {}
+
+  /// Picks the replica id to serve a read: round-robin over eligible
+  /// followers, else the leader, else -1 (no one can serve — caller
+  /// surfaces Unavailable).
+  int PickRead(const std::vector<ReplicaView>& replicas);
+
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  Stats stats_;
+  uint64_t rr_ = 0;
+};
+
+}  // namespace saga::serving
+
+#endif  // SAGA_SERVING_REPLICA_ROUTER_H_

@@ -214,4 +214,34 @@ Result<std::vector<std::string>> ReadWalRecords(const std::string& path) {
   return std::move(result.records);
 }
 
+std::string EncodeSequencedRecord(const SequencedRecord& record) {
+  std::string out;
+  BinaryWriter w(&out);
+  w.PutFixed64(record.seq);
+  w.PutFixed64(record.epoch);
+  out.append(record.payload);
+  return out;
+}
+
+Result<SequencedRecord> DecodeSequencedRecord(std::string_view encoded) {
+  BinaryReader r(encoded);
+  SequencedRecord rec;
+  SAGA_RETURN_IF_ERROR(r.GetFixed64(&rec.seq));
+  SAGA_RETURN_IF_ERROR(r.GetFixed64(&rec.epoch));
+  rec.payload.assign(encoded.substr(r.position()));
+  return rec;
+}
+
+Result<std::vector<SequencedRecord>> ReadWalRecordsFrom(
+    const std::string& path, uint64_t min_seq) {
+  SAGA_ASSIGN_OR_RETURN(WalReadResult raw, ReadWalRecordsDetailed(path));
+  std::vector<SequencedRecord> out;
+  for (const std::string& encoded : raw.records) {
+    Result<SequencedRecord> rec = DecodeSequencedRecord(encoded);
+    if (!rec.ok()) break;  // nothing past damage is trusted
+    if (rec->seq >= min_seq) out.push_back(std::move(*rec));
+  }
+  return out;
+}
+
 }  // namespace saga::storage

@@ -94,6 +94,31 @@ Result<WalReadResult> ReadWalRecordsDetailed(const std::string& path);
 /// only the records.
 Result<std::vector<std::string>> ReadWalRecords(const std::string& path);
 
+/// A WAL payload carrying replication metadata: the leader-assigned
+/// monotonic sequence number, the epoch under which it was appended,
+/// and the opaque application payload. The replication tier ships
+/// these records follower-to-follower; the (seq, epoch) pair is what
+/// fencing and divergence repair reason about.
+struct SequencedRecord {
+  uint64_t seq = 0;
+  uint64_t epoch = 0;
+  std::string payload;
+};
+
+/// fixed64 seq | fixed64 epoch | payload — framed inside the ordinary
+/// CRC'd WAL record format, so a sequenced log replays with the same
+/// stop-at-damage guarantees as any other WAL.
+std::string EncodeSequencedRecord(const SequencedRecord& record);
+Result<SequencedRecord> DecodeSequencedRecord(std::string_view encoded);
+
+/// Replays `path` and returns every intact sequenced record with
+/// seq >= min_seq, in log order — the follower catch-up iteration
+/// ("ship me everything from seq N"). Undecodable payloads stop the
+/// scan (same contract as torn-tail handling: nothing past damage is
+/// trusted).
+Result<std::vector<SequencedRecord>> ReadWalRecordsFrom(
+    const std::string& path, uint64_t min_seq);
+
 }  // namespace saga::storage
 
 #endif  // SAGA_STORAGE_WAL_H_

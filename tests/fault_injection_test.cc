@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string_view>
 #include <vector>
 
 #include "common/fault_injection.h"
@@ -104,6 +105,88 @@ TEST_F(FaultInjectorTest, ScopedFaultDisarmsOnExit) {
 }
 
 // ---------- RetryPolicy ----------
+
+TEST_F(FaultInjectorTest, InjectTransportMapsKindsToActions) {
+  // The network-shaped kinds map to their own actions; delay carries
+  // the configured stall for the caller's logical clock (the injector
+  // itself never sleeps on the transport path).
+  struct Case {
+    FaultKind kind;
+    TransportFaultAction action;
+  };
+  const Case cases[] = {
+      {FaultKind::kDelay, TransportFaultAction::kDelay},
+      {FaultKind::kDuplicate, TransportFaultAction::kDuplicate},
+      {FaultKind::kReorder, TransportFaultAction::kReorder},
+      {FaultKind::kDrop, TransportFaultAction::kDrop},
+      {FaultKind::kPartition, TransportFaultAction::kDrop},
+      // Non-network kinds degrade to the closest network effect: a
+      // lost message.
+      {FaultKind::kFail, TransportFaultAction::kDrop},
+      {FaultKind::kTornWrite, TransportFaultAction::kDrop},
+  };
+  for (const Case& c : cases) {
+    Faults().DisarmAll();
+    FaultSpec spec;
+    spec.kind = c.kind;
+    spec.delay_ms = 17.5;
+    Faults().Arm("transport.send", spec);
+    const TransportFault f = Faults().InjectTransport("transport.send");
+    EXPECT_EQ(static_cast<int>(f.action), static_cast<int>(c.action))
+        << "kind " << static_cast<int>(c.kind);
+    if (c.action == TransportFaultAction::kDelay) {
+      EXPECT_DOUBLE_EQ(f.delay_ms, 17.5);
+    }
+  }
+  // Unarmed points deliver normally.
+  Faults().DisarmAll();
+  EXPECT_EQ(static_cast<int>(Faults().InjectTransport("transport.send").action),
+            static_cast<int>(TransportFaultAction::kNone));
+}
+
+TEST_F(FaultInjectorTest, NetworkKindsDegradeToFailureOnDiskPaths) {
+  // Arming a network kind on a read/write point must fail the guarded
+  // operation (never pass silently) — a misconfigured chaos schedule
+  // should be loud, not a no-op.
+  FaultSpec spec;
+  spec.kind = FaultKind::kDrop;
+  Faults().Arm("file.write", spec);
+  std::string payload = "abc";
+  const WriteFault wf = Faults().InjectWrite("file.write", &payload);
+  EXPECT_TRUE(wf.fail);
+  EXPECT_FALSE(wf.write_payload);
+  Faults().DisarmAll();
+  spec.kind = FaultKind::kReorder;
+  Faults().Arm("file.read", spec);
+  std::string buf = "abc";
+  EXPECT_TRUE(
+      Faults().InjectRead("file.read", buf.data(), buf.size()).IsIOError());
+}
+
+TEST_F(FaultInjectorTest, ArmedPointsListsActiveFaults) {
+  EXPECT_TRUE(Faults().ArmedPoints().empty());
+  Faults().Arm("wal.append", FaultSpec{});
+  Faults().Arm("transport.send", FaultSpec{});
+  const std::vector<std::string> armed = Faults().ArmedPoints();
+  ASSERT_EQ(armed.size(), 2u);
+  // Sorted for stable CLI output.
+  EXPECT_EQ(armed[0], "transport.send");
+  EXPECT_EQ(armed[1], "wal.append");
+}
+
+TEST_F(FaultInjectorTest, KnownFaultPointCatalogCoversTransport) {
+  const auto& points = KnownFaultPoints();
+  EXPECT_GE(points.size(), 10u);
+  bool has_transport = false;
+  for (const FaultPointInfo& p : points) {
+    EXPECT_FALSE(std::string_view(p.name).empty());
+    EXPECT_FALSE(std::string_view(p.shape).empty());
+    EXPECT_FALSE(std::string_view(p.description).empty());
+    if (std::string_view(p.name) == "transport.send") has_transport = true;
+  }
+  EXPECT_TRUE(has_transport)
+      << "the fault-point catalog is missing the replication transport";
+}
 
 TEST(RetryPolicyTest, SucceedsAfterTransientFailures) {
   RetryPolicy::Options opts;

@@ -187,6 +187,80 @@ TEST_F(WalTest, ResetTruncates) {
   ASSERT_TRUE(wal.Append("fresh").ok());
 }
 
+TEST_F(WalTest, SequencedRecordsRoundTripAndFilterBySeq) {
+  const std::string path = JoinPath(dir_, "seq.log");
+  WalWriter wal(path);
+  ASSERT_TRUE(wal.Open().ok());
+  for (uint64_t s = 1; s <= 5; ++s) {
+    SequencedRecord rec{s, /*epoch=*/7, "payload" + std::to_string(s)};
+    ASSERT_TRUE(wal.Append(EncodeSequencedRecord(rec)).ok());
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+  // ReadFrom(seq) is the replication catch-up path: a follower asks
+  // for everything at or past its own log end.
+  auto tail = ReadWalRecordsFrom(path, 4);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->size(), 2u);
+  EXPECT_EQ((*tail)[0].seq, 4u);
+  EXPECT_EQ((*tail)[0].epoch, 7u);
+  EXPECT_EQ((*tail)[0].payload, "payload4");
+  EXPECT_EQ((*tail)[1].seq, 5u);
+  // min_seq 0/1 returns everything; past-the-end returns empty.
+  auto all = ReadWalRecordsFrom(path, 0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 5u);
+  auto none = ReadWalRecordsFrom(path, 6);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_F(WalTest, SequencedResetStartsCleanWindow) {
+  // The replicated log rewrites its WAL through Reset() on truncation
+  // and compaction; the rewritten file must replay as exactly the new
+  // window, with bytes_written restarting from zero.
+  const std::string path = JoinPath(dir_, "seq_reset.log");
+  WalWriter wal(path);
+  ASSERT_TRUE(wal.Open().ok());
+  for (uint64_t s = 1; s <= 4; ++s) {
+    ASSERT_TRUE(
+        wal.Append(EncodeSequencedRecord({s, 1, "old" + std::to_string(s)}))
+            .ok());
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_TRUE(wal.Reset().ok());
+  EXPECT_EQ(wal.bytes_written(), 0u);
+  for (uint64_t s = 3; s <= 4; ++s) {
+    ASSERT_TRUE(
+        wal.Append(EncodeSequencedRecord({s, 2, "new" + std::to_string(s)}))
+            .ok());
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+  EXPECT_GT(wal.bytes_written(), 0u);
+  auto records = ReadWalRecordsFrom(path, 0);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].seq, 3u);
+  EXPECT_EQ((*records)[0].epoch, 2u);
+  EXPECT_EQ((*records)[0].payload, "new3");
+}
+
+TEST_F(WalTest, SequencedReadStopsAtUndecodablePayload) {
+  const std::string path = JoinPath(dir_, "seq_damage.log");
+  WalWriter wal(path);
+  ASSERT_TRUE(wal.Open().ok());
+  ASSERT_TRUE(wal.Append(EncodeSequencedRecord({1, 1, "good"})).ok());
+  // A raw (unsequenced) record in the middle is framing damage: the
+  // reader must stop there — nothing past damage is trusted — rather
+  // than skip it and hand back a gapped history.
+  ASSERT_TRUE(wal.Append("x").ok());
+  ASSERT_TRUE(wal.Append(EncodeSequencedRecord({2, 1, "after"})).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  auto records = ReadWalRecordsFrom(path, 0);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].payload, "good");
+}
+
 // ---------- MemTable ----------
 
 TEST(MemTableTest, PutGetDelete) {

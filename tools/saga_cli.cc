@@ -14,6 +14,10 @@
 //   saga_cli snapshot restore <store> <name>    restore into the store
 //   saga_cli scrub <store>                      one integrity pass
 //                                               (repairs from snapshots)
+//   saga_cli replicate [n] [writes]             3-replica failover demo
+//            [--kill-leader] [--seed N]         (WAL shipping + election)
+//   saga_cli faults list                        dump every registered
+//                                               fault point (+ armed)
 
 #include <cstdio>
 #include <cstring>
@@ -22,6 +26,7 @@
 
 #include "annotation/annotator.h"
 #include "annotation/query_answering.h"
+#include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
@@ -32,6 +37,7 @@
 #include "kg/kg_generator.h"
 #include "kg/knowledge_graph.h"
 #include "odke/profiler.h"
+#include "replication/replica_group.h"
 #include "serving/embedding_service.h"
 #include "serving/related_entities.h"
 
@@ -49,7 +55,10 @@ int Usage() {
                "  saga_cli related <kg> <name> [k]\n"
                "  saga_cli snapshot create|list|verify|restore <store> "
                "[name]\n"
-               "  saga_cli scrub <store>\n");
+               "  saga_cli scrub <store>\n"
+               "  saga_cli replicate [n] [writes] [--kill-leader] "
+               "[--seed N]\n"
+               "  saga_cli faults list\n");
   return 2;
 }
 
@@ -184,6 +193,172 @@ void PrintIntegrityHealth() {
                   static_cast<long long>(value));
     }
   }
+}
+
+/// Replication surface of this process: role/epoch/commit gauges,
+/// per-replica health and lag, failover count with the last failover
+/// timestamp, and the simulated transport's delivery counters. Live in
+/// a process hosting a ReplicaGroup (`saga_cli replicate` for a demo);
+/// absent otherwise.
+void PrintReplicationHealth() {
+  std::printf("\n--- replication health ---\n");
+  const auto gauges = obs::Registry::Global().GaugesWithPrefix("replication.");
+  if (gauges.empty()) {
+    std::printf("replication: no replica group active in this process\n");
+    return;
+  }
+  double leader = -1, epoch = 0, commit = 0, max_lag = 0, last_failover = 0;
+  for (const auto& [name, value] : gauges) {
+    if (name == "replication.group.leader_index") leader = value;
+    if (name == "replication.group.epoch") epoch = value;
+    if (name == "replication.group.commit_seq") commit = value;
+    if (name == "replication.group.max_lag_records") max_lag = value;
+    if (name == "replication.group.last_failover_unix_ms")
+      last_failover = value;
+  }
+  if (leader >= 0) {
+    std::printf("role: this process hosts the group; leader is replica "
+                "%.0f (epoch %.0f)\n",
+                leader, epoch);
+  } else {
+    std::printf("role: leaderless (election pending), epoch %.0f\n", epoch);
+  }
+  std::printf("commit_seq: %.0f   max follower lag: %.0f records\n", commit,
+              max_lag);
+  for (const auto& [name, value] :
+       obs::Registry::Global().GaugesWithPrefix("replication.lag.")) {
+    const std::string replica = name.substr(std::strlen("replication.lag."));
+    double healthy = 0;
+    for (const auto& [hname, hvalue] :
+         obs::Registry::Global().GaugesWithPrefix("replication.health.")) {
+      if (hname.substr(std::strlen("replication.health.")) == replica) {
+        healthy = hvalue;
+      }
+    }
+    std::printf("  %-12s lag %-6.0f %s\n", replica.c_str(), value,
+                healthy > 0 ? "healthy" : "suspect/down");
+  }
+  for (const auto& [name, value] :
+       obs::Registry::Global().CountersWithPrefix("replication.group.")) {
+    std::printf("%-40s %lld\n", name.c_str(), static_cast<long long>(value));
+  }
+  if (last_failover > 0) {
+    const auto secs = static_cast<time_t>(last_failover / 1000.0);
+    char buf[64];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S",
+                  std::localtime(&secs));
+    std::printf("last failover: %s\n", buf);
+  }
+  for (const auto& [name, value] :
+       obs::Registry::Global().CountersWithPrefix("replication.transport.")) {
+    std::printf("%-40s %lld\n", name.c_str(), static_cast<long long>(value));
+  }
+}
+
+/// `saga_cli faults list` — the registered fault-point catalog (name,
+/// shape, what arming it simulates), plus whatever is armed right now
+/// in this process. The catalog is the contract chaos tests and the
+/// nightly jobs program against.
+int CmdFaults(int argc, char** argv) {
+  if (argc < 3 || std::strcmp(argv[2], "list") != 0) return Usage();
+  std::printf("%-22s %-10s %s\n", "fault point", "shape", "simulates");
+  for (const FaultPointInfo& p : KnownFaultPoints()) {
+    std::printf("%-22s %-10s %s\n", p.name, p.shape, p.description);
+  }
+  const auto armed = Faults().ArmedPoints();
+  if (armed.empty()) {
+    std::printf("\narmed now: none\n");
+  } else {
+    std::printf("\narmed now:\n");
+    for (const std::string& p : armed) std::printf("  %s\n", p.c_str());
+  }
+  return 0;
+}
+
+/// `saga_cli replicate [n] [writes] [--kill-leader] [--seed N]` — the
+/// replicated-serving demo: spin up an n-replica group over the
+/// simulated transport, push quorum-acked writes through it,
+/// optionally kill the leader halfway (--kill-leader) to watch the
+/// detector + election promote a caught-up follower, then read every
+/// write back through the bounded-staleness router and print the
+/// replication health section.
+int CmdReplicate(int argc, char** argv) {
+  int n = 3;
+  int writes = 32;
+  bool kill_leader = false;
+  uint64_t seed = 0x5A6A;
+  int positional = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--kill-leader") == 0) {
+      kill_leader = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (positional == 0) {
+      n = std::atoi(argv[i]);
+      ++positional;
+    } else if (positional == 1) {
+      writes = std::atoi(argv[i]);
+      ++positional;
+    }
+  }
+  if (n < 1 || writes < 1) return Usage();
+
+  replication::ReplicaGroup::Options opts;
+  opts.num_replicas = n;
+  opts.seed = seed;
+  auto group = replication::ReplicaGroup::Create(opts);
+  if (!group.ok()) {
+    std::fprintf(stderr, "%s\n", group.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("replica group: %d replicas, seed %llu\n", n,
+              static_cast<unsigned long long>(seed));
+
+  int acked = 0;
+  for (int i = 0; i < writes; ++i) {
+    if (kill_leader && i == writes / 2) {
+      const int lid = (*group)->LeaderId();
+      if (lid >= 0) {
+        std::printf("killing leader (replica %d) at write %d...\n", lid, i);
+        (*group)->Crash(lid);
+      }
+    }
+    const std::string key = "fact/" + std::to_string(i);
+    const std::string value = "value-" + std::to_string(i);
+    if ((*group)->Put(key, value).ok()) ++acked;
+  }
+  std::printf("acked writes: %d/%d   leader: replica %d   epoch: %llu   "
+              "failovers: %llu\n",
+              acked, writes, (*group)->LeaderId(),
+              static_cast<unsigned long long>((*group)->epoch()),
+              static_cast<unsigned long long>((*group)->failovers()));
+
+  // Drain follower lag, then read everything back through the router.
+  (*group)->StepUntil(
+      [&] {
+        for (int i = 0; i < (*group)->num_replicas(); ++i) {
+          if ((*group)->replica(i).alive() && (*group)->LagOf(i) != 0) {
+            return false;
+          }
+        }
+        return true;
+      },
+      5000);
+  int readable = 0;
+  for (int i = 0; i < writes; ++i) {
+    auto v = (*group)->Get("fact/" + std::to_string(i));
+    if (v.ok() && *v == "value-" + std::to_string(i)) ++readable;
+  }
+  std::printf("readable after %s: %d/%d acked\n",
+              kill_leader ? "failover" : "replication", readable, acked);
+  const auto& rstats = (*group)->router().stats();
+  std::printf("read routing: %llu follower / %llu leader / %llu stale "
+              "skips\n",
+              static_cast<unsigned long long>(rstats.follower_reads),
+              static_cast<unsigned long long>(rstats.leader_reads),
+              static_cast<unsigned long long>(rstats.stale_skips));
+  PrintReplicationHealth();
+  return readable == acked ? 0 : 1;
 }
 
 int CmdSnapshot(int argc, char** argv) {
@@ -328,6 +503,7 @@ int CmdStats(int argc, char** argv) {
   if (health) {
     PrintServingHealth();
     PrintIntegrityHealth();
+    PrintReplicationHealth();
   }
   return 0;
 }
@@ -462,6 +638,8 @@ int Main(int argc, char** argv) {
   if (cmd == "related") return CmdRelated(argc, argv);
   if (cmd == "snapshot") return CmdSnapshot(argc, argv);
   if (cmd == "scrub") return CmdScrub(argc, argv);
+  if (cmd == "replicate") return CmdReplicate(argc, argv);
+  if (cmd == "faults") return CmdFaults(argc, argv);
   return Usage();
 }
 
