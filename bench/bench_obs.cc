@@ -2,15 +2,25 @@
 // ISSUE-3 acceptance budget is < ~20 ns per hot-path counter increment
 // (enabled), and near-zero when the subsystem is disabled. Results are
 // recorded in EXPERIMENTS.md ("Observability overhead").
+//
+// `--gate` turns the run into a CI smoke gate: the tracing-off span
+// must stay within a pinned ratio of an enabled counter increment (the
+// "tracing is free when off" contract), the tracing-on span within a
+// pinned ratio of the off cost, and History::Capture within an
+// absolute per-snapshot budget. Exits non-zero on violation.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/history.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "common/trace_sampler.h"
 
 namespace {
 
@@ -20,12 +30,37 @@ double NsPerOp(const saga::Stopwatch& sw, int64_t iters) {
   return sw.ElapsedSeconds() * 1e9 / static_cast<double>(iters);
 }
 
+// Gate thresholds. Ratios (not raw nanoseconds) so the gate holds on
+// slow shared CI runners; the absolute caps are a generous backstop
+// against pathological regressions (an accidental mutex or syscall on
+// the hot path blows through them on any machine).
+constexpr double kMaxSpanOffVsCounterRatio = 10.0;  // off-span ~ 1 load
+constexpr double kMaxSpanOffAbsNs = 50.0;
+constexpr double kMaxSpanOnVsOffRatio = 500.0;  // alloc + clock + collect
+constexpr double kMaxSpanOnAbsNs = 20'000.0;
+constexpr double kMaxCounterAbsNs = 100.0;
+constexpr double kMaxCaptureAbsNs = 5'000'000.0;  // 5 ms per snapshot
+
+int gate_status = 0;
+
+void Gate(const char* what, double value, double limit) {
+  const bool ok = value <= limit;
+  std::printf("gate %-38s %10.2f <= %10.2f  %s\n", what, value, limit,
+              ok ? "PASS" : "FAIL");
+  if (!ok) gate_status = 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace saga;
   using bench::Fmt;
   using bench::Table;
+
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
+  }
 
   std::printf("Observability hot-path overhead (%lld iterations/row)\n\n",
               static_cast<long long>(kIters));
@@ -37,10 +72,12 @@ int main() {
 
   // Enabled counter increment — the budgeted hot path.
   obs::SetEnabled(true);
+  double counter_on_ns = 0;
   {
     Stopwatch sw;
     for (int64_t i = 0; i < kIters; ++i) counter.Add();
-    t.AddRow({"Counter::Add", "enabled", Fmt(NsPerOp(sw, kIters), 2)});
+    counter_on_ns = NsPerOp(sw, kIters);
+    t.AddRow({"Counter::Add", "enabled", Fmt(counter_on_ns, 2)});
   }
   // Disabled: one relaxed load, then return.
   obs::SetEnabled(false);
@@ -74,25 +111,60 @@ int main() {
   }
   // Spans: disabled tracing is the common serving configuration.
   obs::SetTracingEnabled(false);
+  double span_off_ns = 0;
   {
     Stopwatch sw;
     for (int64_t i = 0; i < kIters; ++i) {
       obs::ScopedSpan span("bench.obs.span");
     }
-    t.AddRow({"ScopedSpan", "tracing off", Fmt(NsPerOp(sw, kIters), 2)});
+    span_off_ns = NsPerOp(sw, kIters);
+    t.AddRow({"ScopedSpan", "tracing off", Fmt(span_off_ns, 2)});
   }
   obs::SetTracingEnabled(true);
+  double span_on_ns = 0;
   {
     constexpr int64_t kSpanIters = 1'000'000;
     Stopwatch sw;
     for (int64_t i = 0; i < kSpanIters; ++i) {
       obs::ScopedSpan span("bench.obs.span");
     }
+    span_on_ns = NsPerOp(sw, kSpanIters);
     t.AddRow({"ScopedSpan (alloc + collect)", "tracing on",
-              Fmt(NsPerOp(sw, kSpanIters), 2)});
+              Fmt(span_on_ns, 2)});
     obs::ClearTraces();
   }
+  // Spans routed into the tail sampler (serving configuration with
+  // sampling on): the fast healthy majority is decided and dropped.
+  double span_sampled_ns = 0;
+  {
+    obs::TraceSampler::Options opts;
+    opts.min_samples_for_slow = 1u << 30;  // drop everything
+    obs::EnableTailSampling(opts);
+    constexpr int64_t kSpanIters = 1'000'000;
+    Stopwatch sw;
+    for (int64_t i = 0; i < kSpanIters; ++i) {
+      obs::ScopedSpan span("bench.obs.span");
+    }
+    span_sampled_ns = NsPerOp(sw, kSpanIters);
+    t.AddRow({"ScopedSpan (tail sampler drop)", "tracing on",
+              Fmt(span_sampled_ns, 2)});
+    obs::DisableTailSampling();
+  }
   obs::SetTracingEnabled(false);
+
+  // History::Capture snapshots the whole registry (this process has
+  // the bench metrics registered) — the `top` / SLO-watchdog cadence
+  // path, expected to run at ~1 Hz, budgeted in ms not ns.
+  double capture_ns = 0;
+  {
+    obs::History history(128);
+    constexpr int64_t kCaptures = 1000;
+    Stopwatch sw;
+    for (int64_t i = 0; i < kCaptures; ++i) history.Capture();
+    capture_ns = NsPerOp(sw, kCaptures);
+    t.AddRow({"History::Capture (full registry)", "enabled",
+              Fmt(capture_ns / 1000.0, 2) + " us"});
+  }
 
   // Contended counter: all cores hammering one counter exercises the
   // shard padding.
@@ -114,5 +186,22 @@ int main() {
   t.Print();
   std::printf("counter value (keeps the loops live): %lld\n",
               static_cast<long long>(counter.Value()));
-  return 0;
+
+  if (gate) {
+    std::printf("\n--- overhead gate ---\n");
+    Gate("Counter::Add enabled (abs ns)", counter_on_ns, kMaxCounterAbsNs);
+    Gate("ScopedSpan off vs Counter (ratio)", span_off_ns,
+         std::max(kMaxSpanOffVsCounterRatio * counter_on_ns,
+                  kMaxSpanOffAbsNs));
+    Gate("ScopedSpan on vs off (ratio)", span_on_ns,
+         std::min(kMaxSpanOnVsOffRatio * std::max(span_off_ns, 1.0),
+                  kMaxSpanOnAbsNs));
+    Gate("ScopedSpan sampled vs off (ratio)", span_sampled_ns,
+         std::min(kMaxSpanOnVsOffRatio * std::max(span_off_ns, 1.0),
+                  kMaxSpanOnAbsNs));
+    Gate("History::Capture (abs ns)", capture_ns, kMaxCaptureAbsNs);
+    std::printf(gate_status == 0 ? "overhead gate: OK\n"
+                                 : "overhead gate: FAILED\n");
+  }
+  return gate_status;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace saga {
 
@@ -112,22 +113,64 @@ LatencyHistogram::SnapshotBuckets() const {
   return out;
 }
 
-double LatencyHistogram::PercentileNs(double p) const {
-  const auto snap = SnapshotBuckets();
+double LatencyHistogram::PercentileFromBuckets(
+    const std::array<uint64_t, kNumBuckets>& buckets, double p) {
   uint64_t total = 0;
-  for (uint64_t c : snap) total += c;
+  for (uint64_t c : buckets) total += c;
   if (total == 0) return 0.0;
   const double target = (p / 100.0) * static_cast<double>(total);
   uint64_t cumulative = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    cumulative += snap[i];
-    if (static_cast<double>(cumulative) >= target && snap[i] > 0) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target && buckets[i] > 0) {
       const uint64_t lo = BucketLowerNs(i);
       const uint64_t hi = i + 1 < kNumBuckets ? BucketLowerNs(i + 1) : lo;
       return static_cast<double>(lo + hi) / 2.0;
     }
   }
   return static_cast<double>(BucketLowerNs(kNumBuckets - 1));
+}
+
+double LatencyHistogram::PercentileNs(double p) const {
+  return PercentileFromBuckets(SnapshotBuckets(), p);
+}
+
+void LatencyHistogram::RecordExemplarSlow(uint64_t ns) {
+  // Tiny test-and-set spinlock: held for a handful of stores, and only
+  // contended when two threads set a new high-water mark at once.
+  while (exemplar_lock_.exchange(true, std::memory_order_acquire)) {
+  }
+  if (ns > exemplar_ns_.load(std::memory_order_relaxed)) {
+    const TraceContext ctx = CurrentTraceContext();
+    exemplar_hi_.store(ctx.trace_id_hi, std::memory_order_relaxed);
+    exemplar_lo_.store(ctx.trace_id_lo, std::memory_order_relaxed);
+    exemplar_ns_.store(ns, std::memory_order_relaxed);
+  }
+  exemplar_lock_.store(false, std::memory_order_release);
+}
+
+Exemplar LatencyHistogram::exemplar() const {
+  while (exemplar_lock_.exchange(true, std::memory_order_acquire)) {
+  }
+  Exemplar out;
+  out.ns = exemplar_ns_.load(std::memory_order_relaxed);
+  out.trace_id_hi = exemplar_hi_.load(std::memory_order_relaxed);
+  out.trace_id_lo = exemplar_lo_.load(std::memory_order_relaxed);
+  exemplar_lock_.store(false, std::memory_order_release);
+  return out;
+}
+
+LatencyDist LatencyDist::DeltaSince(const LatencyDist& older) const {
+  LatencyDist out;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    // Clamp instead of wrapping: after a ResetAll the newer capture is
+    // smaller, and the honest answer is "what we have seen since".
+    out.buckets[i] =
+        buckets[i] >= older.buckets[i] ? buckets[i] - older.buckets[i]
+                                       : buckets[i];
+  }
+  out.sum_ns = sum_ns >= older.sum_ns ? sum_ns - older.sum_ns : sum_ns;
+  return out;
 }
 
 namespace {
@@ -149,6 +192,12 @@ std::string LatencyHistogram::Summary() const {
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_ns_.store(0, std::memory_order_relaxed);
+  while (exemplar_lock_.exchange(true, std::memory_order_acquire)) {
+  }
+  exemplar_ns_.store(0, std::memory_order_relaxed);
+  exemplar_hi_.store(0, std::memory_order_relaxed);
+  exemplar_lo_.store(0, std::memory_order_relaxed);
+  exemplar_lock_.store(false, std::memory_order_release);
 }
 
 Registry& Registry::Global() {
@@ -208,6 +257,22 @@ std::vector<std::pair<std::string, double>> Registry::GaugesWithPrefix(
     if (name.compare(0, prefix.size(), prefix) == 0) {
       out.emplace_back(name, g->Value());
     }
+  }
+  return out;
+}
+
+std::vector<LatencySnapshot> Registry::LatencySnapshotsWithPrefix(
+    std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LatencySnapshot> out;
+  for (const auto& [name, h] : latencies_) {
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    LatencySnapshot snap;
+    snap.name = name;
+    snap.dist.buckets = h->SnapshotBuckets();
+    snap.dist.sum_ns = h->SumNs();
+    snap.exemplar = h->exemplar();
+    out.push_back(std::move(snap));
   }
   return out;
 }
@@ -293,7 +358,16 @@ std::string Registry::DumpJson() const {
            ",\"sum\":" + std::to_string(h->SumNs()) +
            ",\"p50\":" + FormatDouble(h->PercentileNs(50), 1) +
            ",\"p95\":" + FormatDouble(h->PercentileNs(95), 1) +
-           ",\"p99\":" + FormatDouble(h->PercentileNs(99), 1) + "}";
+           ",\"p99\":" + FormatDouble(h->PercentileNs(99), 1);
+    const Exemplar ex = h->exemplar();
+    if (ex.valid()) {
+      TraceContext id;
+      id.trace_id_hi = ex.trace_id_hi;
+      id.trace_id_lo = ex.trace_id_lo;
+      out += ",\"exemplar\":{\"ns\":" + std::to_string(ex.ns) +
+             ",\"trace_id\":\"" + id.TraceIdHex() + "\"}";
+    }
+    out += "}";
   }
   out += "}}";
   return out;

@@ -127,10 +127,25 @@ class Gauge {
   std::atomic<uint64_t> bits_{0};
 };
 
+/// High-water latency sample with the trace that produced it: links a
+/// histogram's tail directly to a dumpable trace (`saga_cli trace
+/// dump`). Trace ids are zero when the sample was recorded outside a
+/// sampled trace.
+struct Exemplar {
+  uint64_t ns = 0;
+  uint64_t trace_id_hi = 0;
+  uint64_t trace_id_lo = 0;
+  /// An exemplar exists only when a traced request produced the
+  /// sample: untraced records advance the high-water mark but carry no
+  /// trace to point at.
+  bool valid() const { return ns != 0 && (trace_id_hi | trace_id_lo) != 0; }
+};
+
 /// Fixed-bucket log-scale latency histogram over nanoseconds: 4
 /// sub-buckets per power of two (<= 25% relative quantile error), all
 /// updates lock-free relaxed `fetch_add` — safe to Record() from any
-/// thread with no mutex on the sample path.
+/// thread with no mutex on the sample path. The exemplar slow path (a
+/// tiny spinlock) only runs when a sample sets a new high-water mark.
 class LatencyHistogram {
  public:
   /// 2 sub-bucket bits -> 4 sub-buckets per octave.
@@ -142,6 +157,9 @@ class LatencyHistogram {
     if (!internal::EnabledFast()) return;
     buckets_[BucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
     sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    if (ns > exemplar_ns_.load(std::memory_order_relaxed)) {
+      RecordExemplarSlow(ns);
+    }
   }
 
   uint64_t Count() const;
@@ -150,11 +168,20 @@ class LatencyHistogram {
   /// p in [0, 100]; bucket-midpoint estimate. 0 when empty.
   double PercentileNs(double p) const;
 
+  /// Highest-latency sample seen since the last Reset, with the trace
+  /// id active when it was recorded (zero ids = untraced sample).
+  Exemplar exemplar() const;
+
   /// Immutable bucket snapshot (counts per bucket) for merging and
   /// export without holding up writers.
   std::array<uint64_t, kNumBuckets> SnapshotBuckets() const;
   /// Inclusive lower bound in ns of bucket `idx`.
   static uint64_t BucketLowerNs(int idx);
+  /// Bucket-midpoint percentile over a standalone bucket array — the
+  /// shared math behind PercentileNs and obs::History window
+  /// percentiles (which subtract snapshots before calling this).
+  static double PercentileFromBuckets(
+      const std::array<uint64_t, kNumBuckets>& buckets, double p);
 
   /// e.g. "n=100 mean=1.2us p50=1.1us p99=3.0us".
   std::string Summary() const;
@@ -170,8 +197,53 @@ class LatencyHistogram {
   }
 
  private:
+  /// High-water slow path: takes the spinlock, re-checks the mark, and
+  /// attaches the calling thread's trace id. Out of line so the common
+  /// Record() stays a pair of relaxed fetch_adds plus one load.
+  void RecordExemplarSlow(uint64_t ns);
+
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
   std::atomic<uint64_t> sum_ns_{0};
+  /// Exemplar triple; exemplar_ns_ doubles as the lock-free high-water
+  /// gate, the spinlock keeps the triple coherent for readers.
+  std::atomic<uint64_t> exemplar_ns_{0};
+  std::atomic<uint64_t> exemplar_hi_{0};
+  std::atomic<uint64_t> exemplar_lo_{0};
+  mutable std::atomic<bool> exemplar_lock_{false};
+};
+
+/// Plain-value distribution snapshot: bucket counts + sum at one point
+/// in time. Subtractable (History computes per-window distributions as
+/// clamped bucket deltas between two captures) and percentile-capable
+/// via LatencyHistogram::PercentileFromBuckets.
+struct LatencyDist {
+  std::array<uint64_t, LatencyHistogram::kNumBuckets> buckets{};
+  uint64_t sum_ns = 0;
+
+  uint64_t count() const {
+    uint64_t n = 0;
+    for (uint64_t c : buckets) n += c;
+    return n;
+  }
+  double PercentileNs(double p) const {
+    return LatencyHistogram::PercentileFromBuckets(buckets, p);
+  }
+  double MeanNs() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum_ns) / static_cast<double>(n);
+  }
+  /// this - older, clamped at zero per bucket (reset-tolerant: a
+  /// counter that went backwards contributes its new value, not a
+  /// huge unsigned wraparound).
+  LatencyDist DeltaSince(const LatencyDist& older) const;
+};
+
+/// One named latency metric captured whole: distribution + exemplar.
+struct LatencySnapshot {
+  std::string name;
+  LatencyDist dist;
+  Exemplar exemplar;
 };
 
 /// RAII latency sample: records elapsed ns into a histogram on scope
@@ -222,6 +294,11 @@ class Registry {
   std::vector<std::pair<std::string, int64_t>> CountersWithPrefix(
       std::string_view prefix) const;
   std::vector<std::pair<std::string, double>> GaugesWithPrefix(
+      std::string_view prefix) const;
+  /// Full latency snapshots (buckets + sum + exemplar) for metrics
+  /// whose name starts with `prefix`, sorted by name. "" = all; feeds
+  /// obs::History captures and the exemplar view in stats dumps.
+  std::vector<LatencySnapshot> LatencySnapshotsWithPrefix(
       std::string_view prefix) const;
 
   /// Prometheus-style text exposition: counters, gauges, and histogram

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace saga {
 
@@ -91,10 +92,15 @@ inline std::string_view PriorityName(Priority p) {
 ///   }
 class RequestContext {
  public:
-  /// Infinite deadline, high priority, never cancelled.
-  RequestContext() = default;
+  /// Infinite deadline, high priority, never cancelled. Captures the
+  /// ambient trace context of the constructing thread (invalid when no
+  /// trace is active), so a context built inside a request span
+  /// carries the trace wherever the request goes.
+  RequestContext() : trace_(obs::CurrentTraceContext()) {}
   explicit RequestContext(Deadline deadline, Priority priority = Priority::kHigh)
-      : deadline_(deadline), priority_(priority) {}
+      : deadline_(deadline),
+        priority_(priority),
+        trace_(obs::CurrentTraceContext()) {}
 
   static RequestContext WithTimeoutMillis(double ms,
                                           Priority priority = Priority::kHigh) {
@@ -146,10 +152,21 @@ class RequestContext {
   /// Spelled-out alias used at API boundaries.
   Status CheckDeadline(std::string_view where) const { return Check(where); }
 
+  /// Trace identity captured at construction (or set explicitly when a
+  /// context is built away from the request thread). Install on the
+  /// far side with obs::ScopedTraceContext to stitch cross-thread work
+  /// into the originating trace.
+  const obs::TraceContext& trace() const { return trace_; }
+  void set_trace(const obs::TraceContext& trace) { trace_ = trace; }
+  /// Re-captures the ambient trace context (e.g. after opening the
+  /// request's root span with a pre-built context).
+  void CaptureTrace() { trace_ = obs::CurrentTraceContext(); }
+
  private:
   Deadline deadline_;
   Priority priority_ = Priority::kHigh;
   std::shared_ptr<std::atomic<bool>> cancelled_;
+  obs::TraceContext trace_;
 };
 
 }  // namespace saga

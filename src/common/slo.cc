@@ -1,0 +1,87 @@
+#include "common/slo.h"
+
+#include <utility>
+
+namespace saga::obs {
+
+SloWatchdog::SloWatchdog(std::vector<SloSpec> specs)
+    : specs_(std::move(specs)) {}
+
+std::vector<SloVerdict> SloWatchdog::Evaluate(const History& history,
+                                              size_t window) const {
+  std::vector<SloVerdict> verdicts;
+  verdicts.reserve(specs_.size());
+  Registry& reg = Registry::Global();
+  for (const SloSpec& spec : specs_) {
+    SloVerdict v;
+    v.name = spec.name;
+    if (!spec.error_counter.empty()) {
+      v.good_delta = spec.good_counter.empty()
+                         ? 0
+                         : history.DeltaOver(spec.good_counter, window);
+      v.error_delta = history.DeltaOver(spec.error_counter, window);
+      const int64_t total = v.good_delta + v.error_delta;
+      if (total > 0) {
+        const double error_fraction =
+            static_cast<double>(v.error_delta) / static_cast<double>(total);
+        const double budget = 1.0 - spec.availability_target;
+        v.availability_burn =
+            budget > 0.0 ? error_fraction / budget
+                         : (error_fraction > 0.0 ? 1e9 : 0.0);
+      }
+    }
+    if (!spec.latency_metric.empty() && spec.latency_p99_target_ms > 0.0) {
+      if (history.CountOverWindow(spec.latency_metric, window) > 0) {
+        v.window_p99_ms =
+            history.PercentileOverWindowNs(spec.latency_metric, 99, window) /
+            1e6;
+        v.latency_burn = v.window_p99_ms / spec.latency_p99_target_ms;
+      }
+    }
+    v.ok = v.availability_burn <= 1.0 && v.latency_burn <= 1.0;
+    // Dynamic names (one gauge set per SLO); the metric-name lint
+    // checks the literal "obs.slo." stem at this call site.
+    reg.gauge("obs.slo." + spec.name + "_availability_burn")
+        .Set(v.availability_burn);
+    reg.gauge("obs.slo." + spec.name + "_latency_burn").Set(v.latency_burn);
+    reg.gauge("obs.slo." + spec.name + "_ok").Set(v.ok ? 1.0 : 0.0);
+    verdicts.push_back(std::move(v));
+  }
+  return verdicts;
+}
+
+std::vector<SloSpec> DefaultPlatformSlos() {
+  std::vector<SloSpec> specs;
+  {
+    SloSpec s;
+    s.name = "replication_write";
+    s.good_counter = "replication.group.acked_puts";
+    s.error_counter = "replication.group.rejected_puts";
+    s.availability_target = 0.999;
+    specs.push_back(std::move(s));
+  }
+  {
+    SloSpec s;
+    s.name = "kv_read";
+    s.latency_metric = "storage.kv.get_ns";
+    s.latency_p99_target_ms = 5.0;
+    specs.push_back(std::move(s));
+  }
+  {
+    SloSpec s;
+    s.name = "embedding_topk";
+    s.latency_metric = "serving.embedding.topk_ns";
+    s.latency_p99_target_ms = 50.0;
+    specs.push_back(std::move(s));
+  }
+  {
+    SloSpec s;
+    s.name = "qa_ask";
+    s.latency_metric = "serving.qa.ask_ns";
+    s.latency_p99_target_ms = 100.0;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+}  // namespace saga::obs

@@ -1,8 +1,30 @@
 #include "common/threadpool.h"
 
 #include <atomic>
+#include <utility>
+
+#include "common/trace.h"
 
 namespace saga {
+
+namespace {
+
+/// Carries the submitter's trace context across the pool boundary:
+/// the queued task re-installs it in the worker, so spans opened
+/// inside re-parent under the submitting span (by id, as their own
+/// fragment) instead of silently starting a disconnected trace.
+/// Inline execution (zero workers) keeps the ambient context as-is.
+std::function<void()> WrapWithTraceContext(std::function<void()> task) {
+  if (!obs::TracingEnabled()) return task;
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (!ctx.valid()) return task;
+  return [ctx, inner = std::move(task)] {
+    obs::ScopedTraceContext scope(ctx);
+    inner();
+  };
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) : ThreadPool(num_threads, 0) {}
 
@@ -29,7 +51,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(WrapWithTraceContext(std::move(task)));
   }
   task_available_.notify_one();
 }
@@ -46,7 +68,7 @@ Status ThreadPool::TrySubmit(std::function<void()> task) {
                                        std::to_string(queue_.size()) +
                                        " pending)");
     }
-    queue_.push_back(std::move(task));
+    queue_.push_back(WrapWithTraceContext(std::move(task)));
   }
   task_available_.notify_one();
   return Status::OK();

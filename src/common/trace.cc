@@ -15,7 +15,7 @@ namespace {
 
 std::atomic<bool> g_tracing{false};
 
-/// Completed root span trees, in completion order.
+/// Completed fragment roots, in completion order.
 struct TraceStore {
   std::mutex mu;
   std::vector<std::unique_ptr<SpanNode>> roots;
@@ -26,10 +26,23 @@ TraceStore& Store() {
   return *store;
 }
 
+std::atomic<internal::FragmentSink> g_fragment_sink{nullptr};
+
 /// Open spans of the current thread, outermost first. Raw pointers:
 /// ownership sits with the parent's children vector (or with the
-/// ScopedSpan for roots) until completion.
+/// ScopedSpan for segment roots) until completion.
 thread_local std::vector<SpanNode*> t_span_stack;
+
+/// Ambient trace context of the current thread. span_id tracks the
+/// innermost open span; ScopedSpan maintains it.
+thread_local TraceContext t_ctx;
+
+/// Spans below this stack index belong to an enclosing segment and are
+/// invisible to new spans: a ScopedTraceContext raises the boundary so
+/// adopted-context work records its own fragment instead of nesting
+/// under whatever the thread happened to have open (the simulated
+/// transport delivers "remote" messages on the caller's thread).
+thread_local size_t t_stack_boundary = 0;
 
 uint64_t ProcessStartNs() {
   static const uint64_t start = static_cast<uint64_t>(
@@ -37,6 +50,18 @@ uint64_t ProcessStartNs() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
   return start;
+}
+
+void CollectFragment(std::unique_ptr<SpanNode> fragment) {
+  const bool trace_complete = fragment->parent_span_id == 0;
+  if (internal::FragmentSink sink =
+          g_fragment_sink.load(std::memory_order_acquire)) {
+    sink(std::move(fragment), trace_complete);
+    return;
+  }
+  TraceStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mu);
+  store.roots.push_back(std::move(fragment));
 }
 
 }  // namespace
@@ -60,15 +85,77 @@ void SetTracingEnabled(bool enabled) {
 
 bool TracingEnabled() { return g_tracing.load(std::memory_order_relaxed); }
 
+std::string TraceContext::TraceIdHex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(trace_id_hi),
+                static_cast<unsigned long long>(trace_id_lo));
+  return buf;
+}
+
+TraceContext CurrentTraceContext() { return t_ctx; }
+
+namespace internal {
+
+uint64_t NewId() {
+  // SplitMix64 over a process-global counter, salted per thread. Not
+  // cryptographic — ids only need to be unique within a trace horizon.
+  static std::atomic<uint64_t> g_counter{0x9E3779B97F4A7C15ull};
+  uint64_t z = g_counter.fetch_add(0x9E3779B97F4A7C15ull,
+                                   std::memory_order_relaxed) +
+               (static_cast<uint64_t>(ThreadId()) << 32);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return (z ^ (z >> 31)) | 1;  // never 0: 0 means "no id"
+}
+
+void SetFragmentSink(FragmentSink sink) {
+  g_fragment_sink.store(sink, std::memory_order_release);
+}
+
+}  // namespace internal
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx) {
+  if (!TracingEnabled()) return;
+  active_ = true;
+  saved_ctx_ = t_ctx;
+  saved_boundary_ = t_stack_boundary;
+  t_ctx = ctx;
+  t_stack_boundary = t_span_stack.size();
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (!active_) return;
+  // Every span opened inside the segment must have closed (RAII
+  // scoping guarantees it; a violation would corrupt the stack).
+  t_ctx = saved_ctx_;
+  t_stack_boundary = saved_boundary_;
+}
+
 ScopedSpan::ScopedSpan(std::string_view name) {
   if (!TracingEnabled()) return;
+  if (t_ctx.valid() && !t_ctx.sampled) return;  // head-unsampled trace
   auto node = std::make_unique<SpanNode>();
   node->name = std::string(name);
   node->start_ns = MonotonicNowNs();
   node->thread_id = internal::ThreadId();
+  if (!t_ctx.valid()) {
+    // No ambient context: this span initiates a new trace.
+    t_ctx.trace_id_hi = internal::NewId();
+    t_ctx.trace_id_lo = internal::NewId();
+    t_ctx.span_id = 0;
+    t_ctx.sampled = true;
+    started_trace_ = true;
+  }
+  node->trace_id_hi = t_ctx.trace_id_hi;
+  node->trace_id_lo = t_ctx.trace_id_lo;
+  node->span_id = internal::NewId();
+  node->parent_span_id = t_ctx.span_id;
+  prev_parent_span_id_ = t_ctx.span_id;
+  t_ctx.span_id = node->span_id;
   node_ = node.get();
-  if (t_span_stack.empty()) {
-    root_ = std::move(node);  // tree ownership until completion
+  if (t_span_stack.size() <= t_stack_boundary) {
+    root_ = std::move(node);  // fragment ownership until completion
   } else {
     t_span_stack.back()->children.push_back(std::move(node));
   }
@@ -83,11 +170,24 @@ ScopedSpan::~ScopedSpan() {
   if (!t_span_stack.empty() && t_span_stack.back() == node_) {
     t_span_stack.pop_back();
   }
+  t_ctx.span_id = prev_parent_span_id_;
   if (root_ != nullptr) {
-    TraceStore& store = Store();
-    std::lock_guard<std::mutex> lock(store.mu);
-    store.roots.push_back(std::move(root_));
+    CollectFragment(std::move(root_));
   }
+  if (started_trace_) t_ctx = TraceContext{};
+}
+
+void MarkSpanError(StatusCode code) {
+  if (code == StatusCode::kOk) return;
+  if (t_span_stack.size() <= t_stack_boundary) return;  // no open span
+  SpanNode* node = t_span_stack.back();
+  if (node->error_code == 0) {
+    node->error_code = static_cast<uint32_t>(code);
+  }
+}
+
+void MarkSpanError(const Status& status) {
+  if (!status.ok()) MarkSpanError(status.code());
 }
 
 namespace {
@@ -110,12 +210,20 @@ void Accumulate(const SpanNode& node,
 void EmitChromeEvents(const SpanNode& node, bool* first, std::string* out) {
   if (!*first) *out += ",";
   *first = false;
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
-                "\"pid\":1,\"tid\":%u}",
-                node.name.c_str(), node.start_ns / 1e3, node.duration_ns / 1e3,
-                node.thread_id);
+  char buf[352];
+  TraceContext id;
+  id.trace_id_hi = node.trace_id_hi;
+  id.trace_id_lo = node.trace_id_lo;
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+      "\"pid\":1,\"tid\":%u,\"args\":{\"trace_id\":\"%s\","
+      "\"span_id\":\"%llx\",\"parent_span_id\":\"%llx\",\"error\":%u}}",
+      node.name.c_str(), node.start_ns / 1e3, node.duration_ns / 1e3,
+      node.thread_id, id.TraceIdHex().c_str(),
+      static_cast<unsigned long long>(node.span_id),
+      static_cast<unsigned long long>(node.parent_span_id),
+      node.error_code);
   *out += buf;
   for (const auto& child : node.children) {
     EmitChromeEvents(*child, first, out);
@@ -123,6 +231,12 @@ void EmitChromeEvents(const SpanNode& node, bool* first, std::string* out) {
 }
 
 }  // namespace
+
+namespace internal {
+void AppendChromeEvents(const SpanNode& root, bool* first, std::string* out) {
+  EmitChromeEvents(root, first, out);
+}
+}  // namespace internal
 
 std::vector<SpanStats> AggregateSpans() {
   std::map<std::string, SpanStats> by_name;
@@ -180,6 +294,12 @@ std::string ChromeTraceJson() {
   }
   out += "]}";
   return out;
+}
+
+void VisitCollectedTraces(const std::function<void(const SpanNode&)>& fn) {
+  TraceStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mu);
+  for (const auto& root : store.roots) fn(*root);
 }
 
 void ClearTraces() {

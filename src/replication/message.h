@@ -66,6 +66,17 @@ struct Message {
   /// Candidate's log end, compared lexicographically as
   /// (last_epoch, last_seq) for the election restriction.
   uint64_t last_epoch = 0;
+
+  // --- tracing (any type) ---
+  /// Trace identity of the operation that produced this message (zero
+  /// ids = untraced). The transport copies messages whole, so the
+  /// context rides every drop/duplicate/reorder fault for free; the
+  /// receiver adopts it and its handler spans parent under
+  /// `parent_span_id`, stitching a quorum write into one trace.
+  uint64_t trace_id_hi = 0;
+  uint64_t trace_id_lo = 0;
+  uint64_t parent_span_id = 0;
+  bool trace_sampled = true;
 };
 
 }  // namespace saga::replication

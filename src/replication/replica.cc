@@ -3,8 +3,38 @@
 #include <algorithm>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace saga::replication {
+
+namespace {
+
+/// Attaches the sender's ambient trace context to an outgoing message:
+/// handler spans on the receiver parent under the span that was open
+/// when the message was sent.
+void StampTrace(Message& m) {
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  m.trace_id_hi = ctx.trace_id_hi;
+  m.trace_id_lo = ctx.trace_id_lo;
+  m.parent_span_id = ctx.span_id;
+  m.trace_sampled = ctx.sampled;
+}
+
+std::string_view HandlerSpanName(MessageType type) {
+  switch (type) {
+    case MessageType::kAppend:
+      return "replication.replica.handle_append";
+    case MessageType::kAppendAck:
+      return "replication.replica.handle_append_ack";
+    case MessageType::kVoteRequest:
+      return "replication.replica.handle_vote_request";
+    case MessageType::kVoteReply:
+      return "replication.replica.handle_vote_reply";
+  }
+  return "replication.replica.handle_message";
+}
+
+}  // namespace
 
 Replica::Replica(Options options, SimTransport* transport, ApplyFn apply)
     : options_(options),
@@ -91,6 +121,7 @@ void Replica::StartElection(double now_ms) {
   req.epoch = epoch_;
   req.last_seq = log_.last_seq();
   req.last_epoch = log_.last_epoch();
+  StampTrace(req);
   for (int p = 0; p < options_.group_size; ++p) {
     if (p == options_.id) continue;
     req.to = p;
@@ -117,6 +148,7 @@ void Replica::ShipTo(int peer, double now_ms) {
     m.prev_epoch = log_.compacted_upto_epoch();
   }
   m.records = log_.ReadFrom(from, options_.max_batch_records);
+  StampTrace(m);
   transport_->Send(m, now_ms);
 }
 
@@ -147,7 +179,9 @@ void Replica::Tick(double now_ms) {
 }
 
 Result<uint64_t> Replica::LeaderAppend(std::string payload, double now_ms) {
+  obs::ScopedSpan span("replication.replica.leader_append");
   if (!alive_ || role_ != Role::kLeader) {
+    obs::MarkSpanError(StatusCode::kUnavailable);
     return Status::FailedPrecondition("not the leader");
   }
   if (payload.empty()) {
@@ -202,6 +236,27 @@ void Replica::ApplyUpTo(uint64_t seq) {
 
 void Replica::HandleMessage(const Message& m, double now_ms) {
   if (!alive_) return;
+  obs::TraceContext ctx;
+  ctx.trace_id_hi = m.trace_id_hi;
+  ctx.trace_id_lo = m.trace_id_lo;
+  ctx.span_id = m.parent_span_id;
+  ctx.sampled = m.trace_sampled;
+  if (obs::TracingEnabled() && ctx.valid()) {
+    // Adopt the sender's context as a fresh segment: in the simulated
+    // transport this handler runs on the *sender's* OS thread, and
+    // without the segment boundary its spans would physically nest
+    // under whatever span the sender still has open. Untraced
+    // messages (heartbeats outside any request) skip this so they do
+    // not each mint a trace of their own.
+    obs::ScopedTraceContext scope(ctx);
+    obs::ScopedSpan span(HandlerSpanName(m.type));
+    DispatchMessage(m, now_ms);
+    return;
+  }
+  DispatchMessage(m, now_ms);
+}
+
+void Replica::DispatchMessage(const Message& m, double now_ms) {
   switch (m.type) {
     case MessageType::kAppend:
       HandleAppend(m, now_ms);
@@ -232,6 +287,7 @@ void Replica::HandleAppend(const Message& m, double now_ms) {
     ack.epoch = epoch_;
     ack.success = false;
     ack.last_seq = log_.last_seq();
+    StampTrace(ack);
     transport_->Send(ack, now_ms);
     return;
   }
@@ -260,6 +316,7 @@ void Replica::HandleAppend(const Message& m, double now_ms) {
   if (!consistent) {
     ack.success = false;
     ack.last_seq = log_.last_seq();
+    StampTrace(ack);
     transport_->Send(ack, now_ms);
     return;
   }
@@ -297,6 +354,7 @@ void Replica::HandleAppend(const Message& m, double now_ms) {
 
   ack.success = true;
   ack.last_seq = matched;
+  StampTrace(ack);
   transport_->Send(ack, now_ms);
 }
 
@@ -364,6 +422,7 @@ void Replica::HandleVoteRequest(const Message& m, double now_ms) {
     voted_epoch_ = m.epoch;
     leader_detector_.RecordContact(now_ms);  // grace for the new leader
   }
+  StampTrace(reply);
   transport_->Send(reply, now_ms);
 }
 

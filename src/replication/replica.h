@@ -155,6 +155,9 @@ class Replica {
   /// rule) and applies newly committed records.
   void AdvanceCommit();
   void ApplyUpTo(uint64_t seq);
+  /// Per-type dispatch, run inside the adopted trace segment when the
+  /// message carries one (HandleMessage wraps this).
+  void DispatchMessage(const Message& m, double now_ms);
   void HandleAppend(const Message& m, double now_ms);
   void HandleAppendAck(const Message& m, double now_ms);
   void HandleVoteRequest(const Message& m, double now_ms);

@@ -6,6 +6,7 @@
 #include "common/file_util.h"
 #include "common/metrics.h"
 #include "common/serialization.h"
+#include "common/trace.h"
 
 namespace saga::replication {
 
@@ -156,10 +157,15 @@ uint64_t ReplicaGroup::LagOf(int replica_id) const {
 }
 
 Status ReplicaGroup::AppendOp(std::string op) {
+  // Root span of the quorum write: leader append, shipped appends and
+  // follower acks all stitch under it (by trace id, across the
+  // simulated transport).
+  obs::ScopedSpan span("replication.group.write");
   // Find (or wait out the election of) a leader.
   if (!StepUntil([this] { return LeaderId() >= 0; },
                  options_.election_settle_ms)) {
     SAGA_COUNTER("replication.group.rejected_puts").Add();
+    obs::MarkSpanError(StatusCode::kUnavailable);
     return Status::Unavailable("no leader elected within settle budget");
   }
   const int lid = LeaderId();
@@ -168,6 +174,7 @@ Status ReplicaGroup::AppendOp(std::string op) {
   Result<uint64_t> seq = leader->LeaderAppend(std::move(op), now_ms_);
   if (!seq.ok()) {
     SAGA_COUNTER("replication.group.rejected_puts").Add();
+    obs::MarkSpanError(StatusCode::kUnavailable);
     return Status::Unavailable("leader refused append: " +
                                seq.status().ToString());
   }
@@ -183,6 +190,7 @@ Status ReplicaGroup::AppendOp(std::string op) {
       options_.put_timeout_ms);
   if (!acked) {
     SAGA_COUNTER("replication.group.rejected_puts").Add();
+    obs::MarkSpanError(StatusCode::kUnavailable);
     return Status::Unavailable(
         "write not quorum-acked within timeout (outcome unknown)");
   }

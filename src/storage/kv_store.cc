@@ -381,6 +381,10 @@ Result<std::string> KvStore::Get(std::string_view key,
 
 Result<std::string> KvStore::GetImpl(std::string_view key,
                                      const RequestContext* ctx) {
+  // Span before timer: the timer's destructor runs first, so the
+  // latency sample (and its exemplar) records while the get span is
+  // still the ambient trace context.
+  obs::ScopedSpan span("storage.kv.get");
   obs::ScopedLatency timer(SAGA_LATENCY("storage.kv.get_ns"));
   ++stats_.gets;
   if (ctx != nullptr) {
@@ -389,7 +393,11 @@ Result<std::string> KvStore::GetImpl(std::string_view key,
       // `kv.read` models a slow or failing storage device / replica;
       // the deadline re-check right after surfaces an injected stall as
       // DeadlineExceeded exactly like a real one.
-      SAGA_RETURN_IF_ERROR(Faults().InjectOp("kv.read"));
+      Status injected = Faults().InjectOp("kv.read");
+      if (!injected.ok()) {
+        obs::MarkSpanError(injected);
+        return injected;
+      }
       SAGA_RETURN_IF_ERROR(ctx->Check("storage.kv.get"));
     }
   }
@@ -411,8 +419,12 @@ Result<std::string> KvStore::GetImpl(std::string_view key,
     // Checked probe: a CRC-failing block surfaces as kDataLoss here
     // instead of reading as a miss and falling through to an older
     // (stale) version of the key in a deeper table.
-    SAGA_ASSIGN_OR_RETURN(std::optional<SSTableReader::Entry> entry,
-                          (*it)->GetChecked(key));
+    Result<std::optional<SSTableReader::Entry>> probe = (*it)->GetChecked(key);
+    if (!probe.ok()) {
+      obs::MarkSpanError(probe.status());
+      return probe.status();
+    }
+    std::optional<SSTableReader::Entry> entry = std::move(*probe);
     if (entry.has_value()) {
       if (entry->is_tombstone) return Status::NotFound(std::string(key));
       return std::move(entry->value);

@@ -2,8 +2,8 @@
 //
 //   saga_cli generate <out.kg> [num_persons]   build a synthetic KG
 //   saga_cli stats <kg> [--obs] [--json]        size + coverage report
-//                 [--health]                    (+ observability dump,
-//                                               serving health subview)
+//                 [--health] [--history]        (+ observability dump,
+//                                               health sections, series)
 //   saga_cli entity <kg> <name>                 entity record + facts
 //   saga_cli ask <kg> <query...>                question answering
 //   saga_cli annotate <kg> <text...>            semantic annotation
@@ -16,20 +16,30 @@
 //                                               (repairs from snapshots)
 //   saga_cli replicate [n] [writes]             3-replica failover demo
 //            [--kill-leader] [--seed N]         (WAL shipping + election)
+//   saga_cli trace dump [writes] [--seed N]     traced quorum writes ->
+//            [--out FILE]                       Chrome trace JSON
+//   saga_cli top <kg> [refreshes]               live rates/latency view
 //   saga_cli faults list                        dump every registered
 //                                               fault point (+ armed)
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
 #include <string>
+#include <thread>
 
 #include "annotation/annotator.h"
 #include "annotation/query_answering.h"
 #include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/health_section.h"
+#include "common/history.h"
 #include "common/metrics.h"
+#include "common/slo.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "common/trace_sampler.h"
 #include "embedding/embedding_store.h"
 #include "graph_engine/view.h"
 #include "integrity/scrubber.h"
@@ -48,7 +58,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  saga_cli generate <out.kg> [num_persons]\n"
-               "  saga_cli stats <kg> [--obs] [--json] [--health]\n"
+               "  saga_cli stats <kg> [--obs] [--json] [--health] "
+               "[--history]\n"
                "  saga_cli entity <kg> <name>\n"
                "  saga_cli ask <kg> <query...>\n"
                "  saga_cli annotate <kg> <text...>\n"
@@ -58,6 +69,8 @@ int Usage() {
                "  saga_cli scrub <store>\n"
                "  saga_cli replicate [n] [writes] [--kill-leader] "
                "[--seed N]\n"
+               "  saga_cli trace dump [writes] [--seed N] [--out FILE]\n"
+               "  saga_cli top <kg> [refreshes]\n"
                "  saga_cli faults list\n");
   return 2;
 }
@@ -96,13 +109,17 @@ int CmdGenerate(int argc, char** argv) {
   return 0;
 }
 
-/// `--health`: overload-safety surface of this process — breaker
-/// states (serving.breaker.*), admission shed counts and in-flight vs.
-/// configured limits (serving.admission.*) — rendered from the global
-/// obs registry via the prefix accessors instead of parsing the full
-/// text dump.
-void PrintServingHealth() {
-  std::printf("\n--- serving health ---\n");
+// --------------------------------------------------------------------
+// Health sections. Every subsystem view is built as an
+// obs::HealthSection, so SLO verdicts, serving/overload state,
+// integrity and replication all render through the one sorted,
+// stable-ordered text/JSON path.
+
+/// Overload-safety surface of this process: breaker states
+/// (serving.breaker.*) plus admission shed counts and in-flight vs.
+/// configured limits (serving.admission.*).
+obs::HealthSection BuildServingSection() {
+  obs::HealthSection section("serving");
   const auto gauges =
       obs::Registry::Global().GaugesWithPrefix("serving.breaker.");
   bool any_breaker = false;
@@ -122,137 +139,127 @@ void PrintServingHealth() {
                              : state == 1 ? "open"
                              : state == 2 ? "half-open"
                                           : "?";
-    std::printf("breaker %-28s %s\n",
-                name.substr(0, name.size() - suffix.size()).c_str(),
-                state_name);
+    section.Row(name.substr(0, name.size() - suffix.size()), state_name);
   }
-  if (!any_breaker) {
-    std::printf("breakers: none registered in this process\n");
-  }
+  if (!any_breaker) section.Note("breakers: none registered");
   for (const auto& [name, value] :
        obs::Registry::Global().CountersWithPrefix("serving.breaker.")) {
-    std::printf("  %-30s %lld\n", name.c_str(),
-                static_cast<long long>(value));
+    section.Row(name, value);
   }
-
   const auto admitted =
       obs::Registry::Global().CountersWithPrefix("serving.admission.");
   if (admitted.empty()) {
-    std::printf("admission: no controller active in this process\n");
-    return;
+    section.Note("admission: no controller active");
+    return section;
   }
-  for (const auto& [name, value] : admitted) {
-    std::printf("%-32s %lld\n", name.c_str(),
-                static_cast<long long>(value));
-  }
-  double in_flight = 0, in_flight_low = 0, limit = 0;
+  for (const auto& [name, value] : admitted) section.Row(name, value);
   for (const auto& [name, value] :
        obs::Registry::Global().GaugesWithPrefix("serving.admission.")) {
-    if (name == "serving.admission.in_flight") in_flight = value;
-    if (name == "serving.admission.in_flight_low") in_flight_low = value;
-    if (name == "serving.admission.concurrency_limit") limit = value;
+    section.Row(name, value, 0);
   }
-  std::printf("in-flight: %.0f / %.0f slots (%.0f low-priority)\n",
-              in_flight, limit, in_flight_low);
+  return section;
 }
 
-/// Integrity & versioned-deployment surface of this process: corruption
-/// counters (detected/repaired/quarantined), scrubber progress, and
-/// version-swap history, all from the global obs registry. In a serving
-/// process these are live; in a fresh CLI process they are zero unless
-/// a command (scrub, snapshot verify) ran first.
-void PrintIntegrityHealth() {
-  std::printf("\n--- integrity health ---\n");
+/// Integrity & versioned-deployment surface: corruption counters
+/// (detected/repaired/quarantined), scrubber progress, version-swap
+/// history. Live in a serving process; zero in a fresh CLI process
+/// unless a command (scrub, snapshot verify) ran first.
+obs::HealthSection BuildIntegritySection() {
+  obs::HealthSection section("integrity");
   const auto counters =
       obs::Registry::Global().CountersWithPrefix("integrity.");
   if (counters.empty()) {
-    std::printf("integrity: no scrubber/verification activity recorded\n");
+    section.Note("no scrubber/verification activity recorded");
   }
-  for (const auto& [name, value] : counters) {
-    std::printf("%-40s %lld\n", name.c_str(),
-                static_cast<long long>(value));
-  }
+  for (const auto& [name, value] : counters) section.Row(name, value);
   for (const auto& [name, value] :
        obs::Registry::Global().GaugesWithPrefix("integrity.")) {
-    if (name == "integrity.scrub.last_pass_unix_ms" && value > 0) {
-      const auto secs = static_cast<time_t>(value / 1000.0);
-      char buf[64];
-      std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S",
-                    std::localtime(&secs));
-      std::printf("%-40s %s\n", name.c_str(), buf);
+    if (name == "integrity.scrub.last_pass_unix_ms") {
+      section.RowUnixMs(name, static_cast<int64_t>(value));
     } else {
-      std::printf("%-40s %.0f\n", name.c_str(), value);
+      section.Row(name, value, 0);
     }
   }
-  const auto version_counters =
-      obs::Registry::Global().CountersWithPrefix("version.");
-  if (!version_counters.empty()) {
-    std::printf("\n--- versioned deployment ---\n");
-    for (const auto& [name, value] : version_counters) {
-      std::printf("%-40s %lld\n", name.c_str(),
-                  static_cast<long long>(value));
-    }
+  for (const auto& [name, value] :
+       obs::Registry::Global().CountersWithPrefix("version.")) {
+    section.Row(name, value);
   }
+  return section;
 }
 
-/// Replication surface of this process: role/epoch/commit gauges,
-/// per-replica health and lag, failover count with the last failover
-/// timestamp, and the simulated transport's delivery counters. Live in
-/// a process hosting a ReplicaGroup (`saga_cli replicate` for a demo);
-/// absent otherwise.
-void PrintReplicationHealth() {
-  std::printf("\n--- replication health ---\n");
+/// Replication surface: role/epoch/commit gauges, per-replica health
+/// and lag, failovers, transport delivery counters. Live in a process
+/// hosting a ReplicaGroup (`saga_cli replicate` for a demo).
+obs::HealthSection BuildReplicationSection() {
+  obs::HealthSection section("replication");
   const auto gauges = obs::Registry::Global().GaugesWithPrefix("replication.");
   if (gauges.empty()) {
-    std::printf("replication: no replica group active in this process\n");
-    return;
+    section.Note("no replica group active in this process");
+    return section;
   }
-  double leader = -1, epoch = 0, commit = 0, max_lag = 0, last_failover = 0;
+  double leader = -1, epoch = 0, last_failover = 0;
   for (const auto& [name, value] : gauges) {
     if (name == "replication.group.leader_index") leader = value;
     if (name == "replication.group.epoch") epoch = value;
-    if (name == "replication.group.commit_seq") commit = value;
-    if (name == "replication.group.max_lag_records") max_lag = value;
-    if (name == "replication.group.last_failover_unix_ms")
+    if (name == "replication.group.last_failover_unix_ms") {
       last_failover = value;
-  }
-  if (leader >= 0) {
-    std::printf("role: this process hosts the group; leader is replica "
-                "%.0f (epoch %.0f)\n",
-                leader, epoch);
-  } else {
-    std::printf("role: leaderless (election pending), epoch %.0f\n", epoch);
-  }
-  std::printf("commit_seq: %.0f   max follower lag: %.0f records\n", commit,
-              max_lag);
-  for (const auto& [name, value] :
-       obs::Registry::Global().GaugesWithPrefix("replication.lag.")) {
-    const std::string replica = name.substr(std::strlen("replication.lag."));
-    double healthy = 0;
-    for (const auto& [hname, hvalue] :
-         obs::Registry::Global().GaugesWithPrefix("replication.health.")) {
-      if (hname.substr(std::strlen("replication.health.")) == replica) {
-        healthy = hvalue;
-      }
+      continue;
     }
-    std::printf("  %-12s lag %-6.0f %s\n", replica.c_str(), value,
-                healthy > 0 ? "healthy" : "suspect/down");
+    if (name.compare(0, std::strlen("replication.health."),
+                     "replication.health.") == 0) {
+      section.Row(name, value > 0 ? "healthy" : "suspect/down");
+      continue;
+    }
+    section.Row(name, value, 0);
+  }
+  section.RowUnixMs("replication.group.last_failover_unix_ms",
+                    static_cast<int64_t>(last_failover));
+  if (leader >= 0) {
+    section.Note("leader is replica " + std::to_string(static_cast<int>(
+                     leader)) + " at epoch " +
+                 std::to_string(static_cast<int>(epoch)));
+  } else {
+    section.Note("leaderless (election pending)");
   }
   for (const auto& [name, value] :
-       obs::Registry::Global().CountersWithPrefix("replication.group.")) {
-    std::printf("%-40s %lld\n", name.c_str(), static_cast<long long>(value));
+       obs::Registry::Global().CountersWithPrefix("replication.")) {
+    section.Row(name, value);
   }
-  if (last_failover > 0) {
-    const auto secs = static_cast<time_t>(last_failover / 1000.0);
-    char buf[64];
-    std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S",
-                  std::localtime(&secs));
-    std::printf("last failover: %s\n", buf);
+  return section;
+}
+
+/// SLO verdict section: burn rates of the built-in platform SLOs over
+/// the most recent GlobalHistory window (also exported as obs.slo.*
+/// gauges by Evaluate).
+obs::HealthSection BuildSloSection(size_t window) {
+  obs::HealthSection section("slo");
+  obs::History& history = obs::GlobalHistory();
+  if (history.size() < 2) {
+    section.Note("need >= 2 history snapshots for burn rates");
+    return section;
   }
-  for (const auto& [name, value] :
-       obs::Registry::Global().CountersWithPrefix("replication.transport.")) {
-    std::printf("%-40s %lld\n", name.c_str(), static_cast<long long>(value));
+  const obs::SloWatchdog watchdog(obs::DefaultPlatformSlos());
+  for (const obs::SloVerdict& v : watchdog.Evaluate(history, window)) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s (avail burn %.2f, latency burn %.2f, window p99 "
+                  "%.2fms, %lld ok / %lld err)",
+                  v.ok ? "OK" : "BURNING", v.availability_burn,
+                  v.latency_burn, v.window_p99_ms,
+                  static_cast<long long>(v.good_delta),
+                  static_cast<long long>(v.error_delta));
+    section.Row(v.name, std::string(buf));
   }
+  return section;
+}
+
+std::vector<obs::HealthSection> BuildHealthSections() {
+  std::vector<obs::HealthSection> sections;
+  sections.push_back(BuildSloSection(12));
+  sections.push_back(BuildServingSection());
+  sections.push_back(BuildIntegritySection());
+  sections.push_back(BuildReplicationSection());
+  return sections;
 }
 
 /// `saga_cli faults list` — the registered fault-point catalog (name,
@@ -357,8 +364,132 @@ int CmdReplicate(int argc, char** argv) {
               static_cast<unsigned long long>(rstats.follower_reads),
               static_cast<unsigned long long>(rstats.leader_reads),
               static_cast<unsigned long long>(rstats.stale_skips));
-  PrintReplicationHealth();
+  std::printf("\n%s", BuildReplicationSection().Text().c_str());
   return readable == acked ? 0 : 1;
+}
+
+/// `saga_cli trace dump [writes] [--seed N] [--out FILE]` — run a
+/// handful of traced quorum writes against a seeded 3-replica group
+/// with tail sampling in keep-all mode, then dump every retained trace
+/// (client write span, leader append, shipped appends and follower
+/// acks stitched by trace id across the simulated transport) as Chrome
+/// trace_event JSON — stdout by default, or --out FILE for loading
+/// into chrome://tracing / Perfetto.
+int CmdTrace(int argc, char** argv) {
+  if (argc < 3 || std::strcmp(argv[2], "dump") != 0) return Usage();
+  int writes = 8;
+  uint64_t seed = 0x7ACE;
+  std::string out_path;
+  int positional = 0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (positional == 0) {
+      writes = std::atoi(argv[i]);
+      ++positional;
+    }
+  }
+  if (writes < 1) return Usage();
+
+  obs::SetTracingEnabled(true);
+  obs::TraceSampler::Options sampler_opts;
+  sampler_opts.keep_all = true;  // a demo dump wants every trace
+  sampler_opts.capacity = static_cast<size_t>(writes) + 8;
+  obs::EnableTailSampling(sampler_opts);
+
+  replication::ReplicaGroup::Options opts;
+  opts.num_replicas = 3;
+  opts.seed = seed;
+  auto group = replication::ReplicaGroup::Create(opts);
+  if (!group.ok()) {
+    std::fprintf(stderr, "%s\n", group.status().ToString().c_str());
+    return 1;
+  }
+  int acked = 0;
+  for (int i = 0; i < writes; ++i) {
+    const std::string key = "fact/" + std::to_string(i);
+    if ((*group)->Put(key, "value-" + std::to_string(i)).ok()) ++acked;
+  }
+
+  obs::TraceSampler* sampler = obs::GlobalTraceSampler();
+  const std::string json =
+      sampler ? sampler->DumpChromeTraceJson() : "{\"traceEvents\":[]}";
+  const auto stats =
+      sampler ? sampler->stats() : obs::TraceSampler::Stats{};
+  obs::DisableTailSampling();
+
+  // The summary goes to stderr so stdout stays valid JSON.
+  std::fprintf(stderr,
+               "traced %d/%d quorum-acked writes (seed %llu): %llu traces "
+               "decided, %zu retained\n",
+               acked, writes, static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(stats.traces_decided),
+               sampler ? sampler->NumRetained() : size_t{0});
+  if (out_path.empty()) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    const Status s = WriteStringToFile(out_path, json);
+    if (!s.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%zu bytes) — load in chrome://tracing\n",
+                 out_path.c_str(), json.size());
+  }
+  return acked == writes ? 0 : 1;
+}
+
+/// One refresh of the `top` workload: a few QA asks so the serving
+/// histograms and counters move between captures.
+void TopWorkload(annotation::QueryAnswerer& answerer, int round) {
+  static const char* kQueries[] = {
+      "who is the spouse of Person_1?",
+      "where was Person_2 born?",
+      "who is the employer of Person_3?",
+      "who is the author of Work_1?",
+  };
+  constexpr int kNum = sizeof(kQueries) / sizeof(kQueries[0]);
+  for (int i = 0; i < kNum; ++i) {
+    (void)answerer.Ask(kQueries[(round + i) % kNum]);
+  }
+}
+
+/// `saga_cli top <kg> [refreshes]` — live rates / latency view: runs a
+/// small QA workload against the KG, captures the registry into the
+/// global history each refresh, and prints the per-interval rate and
+/// p99 series plus the SLO verdicts — `top` for the serving tier.
+int CmdTop(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  int refreshes = 5;
+  if (argc >= 4) refreshes = std::atoi(argv[3]);
+  if (refreshes < 1) return Usage();
+  obs::SetTracingEnabled(true);
+
+  auto kg = LoadKg(argv[2]);
+  if (!kg.ok()) {
+    std::fprintf(stderr, "%s\n", kg.status().ToString().c_str());
+    return 1;
+  }
+  annotation::QueryAnswerer answerer(&*kg, nullptr);
+  obs::History& history = obs::GlobalHistory();
+  history.Capture();  // baseline so refresh 1 already has an interval
+  const obs::SloWatchdog watchdog(obs::DefaultPlatformSlos());
+  for (int round = 0; round < refreshes; ++round) {
+    TopWorkload(answerer, round);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    history.Capture();
+    std::printf("--- refresh %d/%d ---\n%s", round + 1, refreshes,
+                history.Report(1).c_str());
+    for (const obs::SloVerdict& v : watchdog.Evaluate(history, 12)) {
+      std::printf("slo %-24s %s (avail burn %.2f, latency burn %.2f)\n",
+                  v.name.c_str(), v.ok ? "OK" : "BURNING",
+                  v.availability_burn, v.latency_burn);
+    }
+    std::printf("\n");
+  }
+  return 0;
 }
 
 int CmdSnapshot(int argc, char** argv) {
@@ -448,23 +579,31 @@ int CmdScrub(int argc, char** argv) {
   return stats.corrupt_found > stats.repaired ? 1 : 0;
 }
 
-/// `saga_cli stats <kg> [--obs] [--json] [--health]` — KG size/coverage
-/// report. --obs additionally traces the run and prints the
-/// platform-wide observability surface (span breakdown + Prometheus
-/// metrics); --json prints the metric dump as one JSON object instead;
-/// --health appends the serving-tier overload surface (breaker states,
-/// admission shed counts, in-flight vs. limits).
+/// `saga_cli stats <kg> [--obs] [--json] [--health] [--history]` — KG
+/// size/coverage report. --obs additionally traces the run and prints
+/// the platform-wide observability surface (span breakdown +
+/// Prometheus metrics); --json prints the metric dump (and --health)
+/// as JSON instead; --health appends the uniform subsystem health
+/// sections (SLO verdicts, breakers/admission, integrity,
+/// replication); --history appends the snapshot-ring rate/percentile
+/// series from the global history.
 int CmdStats(int argc, char** argv) {
   if (argc < 3) return Usage();
   bool show_obs = false;
   bool json = false;
   bool health = false;
+  bool show_history = false;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--obs") == 0) show_obs = true;
-    if (std::strcmp(argv[i], "--json") == 0) json = show_obs = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--health") == 0) health = true;
+    if (std::strcmp(argv[i], "--history") == 0) show_history = true;
   }
-  obs::SetTracingEnabled(show_obs);
+  if (json && !health) show_obs = true;
+  obs::SetTracingEnabled(show_obs || health || show_history);
+  // History commands need at least two snapshots to show an interval;
+  // the first one is taken before the workload runs.
+  if (health || show_history) obs::GlobalHistory().Capture();
 
   Result<kg::KnowledgeGraph> kg = [&] {
     obs::ScopedSpan span("cli.stats.load_kg");
@@ -474,24 +613,29 @@ int CmdStats(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", kg.status().ToString().c_str());
     return 1;
   }
-  std::printf("entities:   %zu\n", kg->num_entities());
-  std::printf("triples:    %zu\n", kg->num_triples());
-  std::printf("types:      %zu\n", kg->ontology().num_types());
-  std::printf("predicates: %zu\n", kg->ontology().num_predicates());
-  std::printf("sources:    %zu\n", kg->num_sources());
-  std::printf("\nper-predicate coverage of functional predicates:\n");
+  // With --json, stdout must stay a single parseable JSON document, so
+  // the human-readable report moves to stderr.
+  FILE* text_out = json ? stderr : stdout;
+  std::fprintf(text_out, "entities:   %zu\n", kg->num_entities());
+  std::fprintf(text_out, "triples:    %zu\n", kg->num_triples());
+  std::fprintf(text_out, "types:      %zu\n", kg->ontology().num_types());
+  std::fprintf(text_out, "predicates: %zu\n",
+               kg->ontology().num_predicates());
+  std::fprintf(text_out, "sources:    %zu\n", kg->num_sources());
+  std::fprintf(text_out,
+               "\nper-predicate coverage of functional predicates:\n");
   {
     obs::ScopedSpan span("cli.stats.coverage");
     odke::KgProfiler profiler(&*kg);
     for (const auto& meta : kg->ontology().predicates()) {
       if (!meta.functional || !meta.domain.valid()) continue;
-      std::printf("  %-22s %.1f%% of %s\n", meta.name.c_str(),
-                  100.0 * profiler.Coverage(meta.domain, meta.id),
-                  kg->ontology().type_name(meta.domain).c_str());
+      std::fprintf(text_out, "  %-22s %.1f%% of %s\n", meta.name.c_str(),
+                   100.0 * profiler.Coverage(meta.domain, meta.id),
+                   kg->ontology().type_name(meta.domain).c_str());
     }
   }
   if (show_obs) {
-    if (json) {
+    if (json && !health) {
       std::printf("\n%s\n", obs::DumpAll(obs::DumpFormat::kJson).c_str());
     } else {
       std::printf("\n--- observability: span breakdown ---\n%s",
@@ -500,10 +644,18 @@ int CmdStats(int argc, char** argv) {
                   obs::DumpAll(obs::DumpFormat::kPrometheus).c_str());
     }
   }
+  if (health || show_history) obs::GlobalHistory().Capture();
   if (health) {
-    PrintServingHealth();
-    PrintIntegrityHealth();
-    PrintReplicationHealth();
+    const auto sections = BuildHealthSections();
+    if (json) {
+      std::printf("%s\n", obs::RenderHealthJson(sections).c_str());
+    } else {
+      std::printf("\n%s", obs::RenderHealthText(sections).c_str());
+    }
+  }
+  if (show_history) {
+    std::printf("\n--- history (rates / p99 per interval) ---\n%s",
+                obs::GlobalHistory().Report().c_str());
   }
   return 0;
 }
@@ -639,6 +791,8 @@ int Main(int argc, char** argv) {
   if (cmd == "snapshot") return CmdSnapshot(argc, argv);
   if (cmd == "scrub") return CmdScrub(argc, argv);
   if (cmd == "replicate") return CmdReplicate(argc, argv);
+  if (cmd == "trace") return CmdTrace(argc, argv);
+  if (cmd == "top") return CmdTop(argc, argv);
   if (cmd == "faults") return CmdFaults(argc, argv);
   return Usage();
 }
