@@ -20,7 +20,7 @@ name_re="^${segment}\.${segment}\.${segment}$"
 # Known subsystem stems (first segment). A new subsystem must be added
 # here deliberately — a typo'd stem ("integirty.scrub.passes") would
 # otherwise mint a fresh metric family that no dashboard watches.
-subsystems='annotation|bench|cli|embedding|integrity|obs|odke|ondevice|replication|serving|storage|version'
+subsystems='annotation|bench|cli|embedding|integrity|obs|odke|ondevice|replication|resource|serving|storage|version'
 subsystem_re="^(${subsystems})\."
 status=0
 

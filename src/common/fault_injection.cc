@@ -106,6 +106,9 @@ Status FaultInjector::InjectOp(const std::string& point) {
       SleepMillis(spec->delay_ms);
       return Status::OK();
     }
+    if (spec->kind == FaultKind::kNoSpace) {
+      return Status::StorageExhausted("injected ENOSPC at " + point);
+    }
     return Status::IOError("injected fault at " + point);
   }
   return Status::OK();
@@ -130,10 +133,13 @@ TransportFault FaultInjector::InjectTransport(const std::string& point) {
     case FaultKind::kDrop:
     case FaultKind::kPartition:
     // A garbled frame fails its checksum at the receiver and is
-    // discarded — from the sender's point of view, a drop.
+    // discarded — from the sender's point of view, a drop. A sender
+    // out of buffer space (kNoSpace) likewise never gets the frame
+    // onto the wire.
     case FaultKind::kTornWrite:
     case FaultKind::kBitFlip:
     case FaultKind::kCorrupt:
+    case FaultKind::kNoSpace:
       out.action = TransportFaultAction::kDrop;
       break;
   }
@@ -149,11 +155,13 @@ Status FaultInjector::InjectRead(const std::string& point, char* data,
       SleepMillis(spec->delay_ms);
       return Status::OK();
     case FaultKind::kFail:
-    // Network kinds degrade to a plain failure on a disk-shaped path.
+    // Network kinds degrade to a plain failure on a disk-shaped path;
+    // kNoSpace is meaningless for a read and does the same.
     case FaultKind::kDrop:
     case FaultKind::kDuplicate:
     case FaultKind::kReorder:
     case FaultKind::kPartition:
+    case FaultKind::kNoSpace:
       return Status::IOError("injected read fault at " + point);
     case FaultKind::kCorrupt:
     case FaultKind::kBitFlip:
@@ -186,6 +194,13 @@ WriteFault FaultInjector::InjectWrite(const std::string& point,
     case FaultKind::kPartition:
       out.fail = true;
       out.write_payload = false;
+      break;
+    case FaultKind::kNoSpace:
+      // ENOSPC: nothing reaches the device and the caller must surface
+      // a storage-origin exhaustion, not a retryable IOError.
+      out.fail = true;
+      out.write_payload = false;
+      out.no_space = true;
       break;
     case FaultKind::kTornWrite: {
       const double keep = std::clamp(spec->keep_fraction, 0.0, 1.0);
@@ -224,6 +239,8 @@ const std::vector<FaultPointInfo>& KnownFaultPoints() {
           {"file.rename", "op", "atomic commit rename"},
           {"file.read", "op", "whole-file read into memory"},
           {"file.remove", "op", "stale file removal"},
+          {"file.fsync", "op",
+           "fsync(2) of a file or directory (failure = fsync-gate)"},
           {"file.dirsync", "op", "directory fsync after create/rename"},
           {"wal.open", "op", "WAL open/create"},
           {"wal.append", "write", "WAL record append (torn-tail capable)"},
@@ -231,6 +248,10 @@ const std::vector<FaultPointInfo>& KnownFaultPoints() {
           {"wal.replay", "read", "WAL image read at recovery"},
           {"sst.build", "write", "SSTable build stream"},
           {"sst.open", "op", "SSTable open"},
+          {"sstable.flush", "op",
+           "memtable flush to a new SSTable (ENOSPC-capable)"},
+          {"compaction.write", "op",
+           "compaction output table write (ENOSPC-capable)"},
           {"sstable.read_block", "read", "SSTable block read (CRC-checked)"},
           {"embedding.load", "read", "embedding shard load (CRC-checked)"},
           {"serving.index_build", "op", "ANN index construction"},

@@ -55,6 +55,14 @@ enum class FaultKind {
   /// dropped until the point is disarmed. Semantically kDrop with
   /// repeat, kept distinct so chaos schedules read naturally.
   kPartition,
+  /// The device reports ENOSPC: the guarded operation fails with a
+  /// storage-origin kResourceExhausted (Status::StorageExhausted)
+  /// before any bytes reach disk. Meaningful at op- and write-shaped
+  /// points (file.write, file.fsync, wal.append, sstable.flush,
+  /// compaction.write); reads degrade to kFail, transports to kDrop.
+  /// The resource subsystem's chaos tests use this to fill the "disk"
+  /// deterministically mid-workload.
+  kNoSpace,
 };
 
 struct FaultSpec {
@@ -105,6 +113,11 @@ struct WriteFault {
   /// Caller should still write the (possibly mutated) payload — true
   /// for torn writes and bit flips, false for plain failures.
   bool write_payload = true;
+  /// The injected failure is ENOSPC (kNoSpace): the caller must report
+  /// Status::StorageExhausted instead of a generic IOError, so the
+  /// retry layer's storage-origin gate and the disk-space governor's
+  /// degraded-mode trip both see the right shape.
+  bool no_space = false;
 };
 
 /// Deterministic, seeded fault injector with named fault points.
@@ -117,11 +130,13 @@ struct WriteFault {
 ///
 /// Fault point names used by the platform are documented in DESIGN.md
 /// ("Durability & failure model"): file.write, file.rename, file.read,
-/// file.remove, file.dirsync, wal.open, wal.append, wal.sync,
-/// sst.build, sst.open, serving.index_build, the latency-injectable
-/// serving hot points ann.search, kv.read, graph.traverse, and the
-/// read-side corruption points sstable.read_block, wal.replay,
-/// embedding.load (see DESIGN.md "Integrity & versioned deployment").
+/// file.remove, file.fsync, file.dirsync, wal.open, wal.append,
+/// wal.sync, sst.build, sst.open, sstable.flush, compaction.write,
+/// serving.index_build, the latency-injectable serving hot points
+/// ann.search, kv.read, graph.traverse, and the read-side corruption
+/// points sstable.read_block, wal.replay, embedding.load (see
+/// DESIGN.md "Integrity & versioned deployment" and "Resource
+/// exhaustion & degraded modes").
 ///
 /// Thread-safe; all state sits behind one mutex (fault paths are not
 /// hot paths once armed).

@@ -20,6 +20,17 @@ namespace fs = std::filesystem;
 namespace {
 
 Status FsyncPath(const std::string& path, int open_flags) {
+  if (Faults().armed()) {
+    // `file.fsync` models the device refusing the flush. Any injected
+    // failure here maps to the fsync-gate below — a kNoSpace spec keeps
+    // its storage origin so the governor's degraded-mode trip sees it.
+    Status injected = Faults().InjectOp("file.fsync");
+    if (!injected.ok()) {
+      if (injected.IsStorageExhausted()) return injected;
+      return Status::FsyncGate("injected fsync failure " + path + ": " +
+                               injected.message());
+    }
+  }
   const int fd = ::open(path.c_str(), open_flags);
   if (fd < 0) {
     return Status::IOError("open for fsync " + path + ": " +
@@ -29,8 +40,11 @@ Status FsyncPath(const std::string& path, int open_flags) {
   const int saved_errno = errno;
   ::close(fd);
   if (rc != 0) {
-    return Status::IOError("fsync " + path + ": " +
-                           std::strerror(saved_errno));
+    // Fsync-gate: after a failed fsync the dirty pages may already be
+    // dropped, so this path (and this fd) must never be silently
+    // retried — callers rebuild the file or quarantine it.
+    return Status::FsyncGate("fsync " + path + ": " +
+                             std::strerror(saved_errno));
   }
   return Status::OK();
 }
@@ -65,6 +79,9 @@ Status WriteStringToFile(const std::string& path, std::string_view data,
   if (Faults().armed()) {
     mutated.assign(data);
     const WriteFault f = Faults().InjectWrite("file.write", &mutated);
+    if (f.no_space) {
+      return Status::StorageExhausted("injected ENOSPC: " + tmp);
+    }
     if (f.fail && !f.write_payload) {
       return Status::IOError("injected write failure: " + tmp);
     }
@@ -82,7 +99,16 @@ Status WriteStringToFile(const std::string& path, std::string_view data,
     // crash; the rename never happens so `path` is untouched.
     return Status::IOError("injected torn write: " + tmp);
   }
-  if (durable) SAGA_RETURN_IF_ERROR(SyncFile(tmp));
+  if (durable) {
+    Status sync = SyncFile(tmp);
+    if (!sync.ok()) {
+      // The tmp file's durability is indeterminate after a failed
+      // fsync; discard it so any later attempt rebuilds on a fresh fd
+      // (fsync-gate: never re-fsync the same file image).
+      (void)RemoveFileIfExists(tmp);
+      return sync;
+    }
+  }
   if (Faults().armed()) {
     SAGA_RETURN_IF_ERROR(Faults().InjectOp("file.rename"));
   }

@@ -65,17 +65,28 @@ class RetryPolicy {
   /// Default classification: IOError and ResourceExhausted are worth
   /// retrying; corruption and programmer errors are not. This is the
   /// complete retryable set — every other StatusCode (pinned by a unit
-  /// test) is permanent from the retry layer's point of view.
+  /// test) is permanent from the retry layer's point of view. Note the
+  /// NeverRetryable gate below still wins: a ResourceExhausted whose
+  /// origin is storage (full disk) or an IOError whose origin is a
+  /// failed fsync is code-retryable but origin-fatal.
   static bool IsRetryable(const Status& s) {
-    return s.code() == StatusCode::kIOError ||
-           s.code() == StatusCode::kResourceExhausted;
+    return !NeverRetryable(s) &&
+           (s.code() == StatusCode::kIOError ||
+            s.code() == StatusCode::kResourceExhausted);
   }
 
-  /// Statuses no predicate may override: retrying cannot help (the
-  /// same rotten bytes come back) and may mask real data loss. Checked
-  /// inside Run() even when a custom RetryablePredicate says yes.
+  /// Statuses no predicate may override; checked inside Run() even
+  /// when a custom RetryablePredicate says yes. kDataLoss: the same
+  /// rotten bytes come back and retries mask real data loss.
+  /// kStorageExhausted: a full disk stays full until something
+  /// *reclaims* space — retrying burns CPU against a wall and delays
+  /// the reclaim path that actually helps. kFsyncGate: after a failed
+  /// fsync the kernel may have dropped the dirty pages, so a retried
+  /// fsync on the same fd can report success for bytes that are gone.
   static bool NeverRetryable(const Status& s) {
-    return s.code() == StatusCode::kDataLoss;
+    return s.code() == StatusCode::kDataLoss ||
+           s.origin() == StatusOrigin::kStorageExhausted ||
+           s.origin() == StatusOrigin::kFsyncGate;
   }
 
   /// Retries performed across all Run calls on this policy.

@@ -68,6 +68,17 @@ std::vector<SloSpec> DefaultPlatformSlos() {
     specs.push_back(std::move(s));
   }
   {
+    // Write availability: rejections while the store is read-only
+    // degraded (disk budget exhausted) burn this budget; successful
+    // Put/Delete acks are the good events.
+    SloSpec s;
+    s.name = "kv_write";
+    s.good_counter = "storage.kv.write_ok";
+    s.error_counter = "storage.kv.write_rejected";
+    s.availability_target = 0.999;
+    specs.push_back(std::move(s));
+  }
+  {
     SloSpec s;
     s.name = "embedding_topk";
     s.latency_metric = "serving.embedding.topk_ns";

@@ -61,9 +61,10 @@ class SloWatchdog {
   std::vector<SloSpec> specs_;
 };
 
-/// The platform's built-in SLOs: replication write availability plus
-/// latency objectives for the serving-path histograms (kv get,
-/// embedding topk, QA ask).
+/// The platform's built-in SLOs: replication write availability, KV
+/// write availability (degraded-mode rejections burn it), plus latency
+/// objectives for the serving-path histograms (kv get, embedding topk,
+/// QA ask).
 std::vector<SloSpec> DefaultPlatformSlos();
 
 }  // namespace saga::obs

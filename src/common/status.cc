@@ -36,9 +36,26 @@ std::string_view StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+std::string_view StatusOriginToString(StatusOrigin origin) {
+  switch (origin) {
+    case StatusOrigin::kNone:
+      return "none";
+    case StatusOrigin::kStorageExhausted:
+      return "storage";
+    case StatusOrigin::kFsyncGate:
+      return "fsync";
+  }
+  return "unknown";
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out(StatusCodeToString(code_));
+  if (origin_ != StatusOrigin::kNone) {
+    out += '[';
+    out += StatusOriginToString(origin_);
+    out += ']';
+  }
   if (!message_.empty()) {
     out += ": ";
     out += message_;

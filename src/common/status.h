@@ -40,12 +40,34 @@ enum class StatusCode {
 /// Returns a short human-readable name such as "NotFound".
 std::string_view StatusCodeToString(StatusCode code);
 
+/// Where an error came from, when the code alone is ambiguous. The
+/// retry layer keys off this: a kResourceExhausted from admission
+/// control is a load signal worth retrying after backoff, while the
+/// same code from a full disk is permanent until space is reclaimed —
+/// hammering it burns CPU against a wall (see RetryPolicy).
+enum class StatusOrigin : uint8_t {
+  kNone = 0,
+  /// Disk-space exhaustion (real ENOSPC, a refused DiskSpaceGovernor
+  /// reservation, or an injected kNoSpace fault). Never retryable:
+  /// only reclaim frees space, not repetition.
+  kStorageExhausted,
+  /// A failed fsync. After fsync reports failure the kernel may have
+  /// dropped the dirty pages, so retrying the same fd can "succeed"
+  /// while the bytes are gone (the classic fsyncgate hole). Never
+  /// retryable; the file must be rebuilt on a fresh fd or quarantined.
+  kFsyncGate,
+};
+
+std::string_view StatusOriginToString(StatusOrigin origin);
+
 /// Value-semantic status object. Cheap to copy in the OK case.
 class Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
+  Status(StatusCode code, std::string message, StatusOrigin origin)
+      : code_(code), origin_(origin), message_(std::move(message)) {}
 
   Status(const Status&) = default;
   Status& operator=(const Status&) = default;
@@ -92,9 +114,24 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  /// Disk-space exhaustion from the storage layer (ENOSPC / refused
+  /// byte-budget reservation). Same code as ResourceExhausted so
+  /// existing code()-based handling still sees it, but the origin
+  /// makes it permanently non-retryable.
+  static Status StorageExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg),
+                  StatusOrigin::kStorageExhausted);
+  }
+  /// A failed fsync (see StatusOrigin::kFsyncGate). IOError-coded but
+  /// never retryable on the same fd.
+  static Status FsyncGate(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg),
+                  StatusOrigin::kFsyncGate);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
+  StatusOrigin origin() const { return origin_; }
   const std::string& message() const { return message_; }
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -112,12 +149,17 @@ class Status {
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsStorageExhausted() const {
+    return origin_ == StatusOrigin::kStorageExhausted;
+  }
+  bool IsFsyncGate() const { return origin_ == StatusOrigin::kFsyncGate; }
 
-  /// "OK" or "<Code>: <message>".
+  /// "OK" or "<Code>[origin]: <message>" (origin tag only when set).
   std::string ToString() const;
 
  private:
   StatusCode code_;
+  StatusOrigin origin_ = StatusOrigin::kNone;
   std::string message_;
 };
 

@@ -122,6 +122,19 @@ void Scrubber::HandleCorrupt(const std::string& path, FileKind kind,
     return;
   }
 
+  if (options_.governor != nullptr && options_.governor->degraded()) {
+    // Degraded mode: a snapshot-sourced repair writes a full fresh
+    // copy, and even the quarantine rename invites a follow-up repair.
+    // The read path is CRC-guarded, so leaving the rotted file in
+    // place is safe; the next pass retries once space is back.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deferred_degraded;
+    SAGA_COUNTER("integrity.scrub.deferred_degraded").Add();
+    SAGA_LOG(Warning) << "deferring repair of " << path
+                      << ": store is disk-space degraded";
+    return;
+  }
+
   if (options_.snapshots != nullptr) {
     auto from = options_.snapshots->RepairFile(BaseName(path), path);
     if (from.ok()) {

@@ -47,6 +47,13 @@ class Scrubber {
     /// Optional: repair source. Without it corrupt files are
     /// quarantined only.
     SnapshotManager* snapshots = nullptr;
+    /// Optional disk-space governor. While it reports degraded the
+    /// scrubber defers space-consuming repairs (a snapshot-sourced
+    /// rewrite costs exactly the bytes reclaim is fighting for):
+    /// corruption is still detected and counted, but repair/quarantine
+    /// waits for the next pass after the store is writable again. Not
+    /// owned.
+    resource::DiskSpaceGovernor* governor = nullptr;
     /// Extra checksummed files to scrub (embedding shards; full paths).
     std::vector<std::string> embedding_files;
   };
@@ -61,6 +68,8 @@ class Scrubber {
     uint64_t sheds = 0;
     /// Files skipped this-pass because admission kept shedding.
     uint64_t skipped_shed = 0;
+    /// Repairs deferred because the store was disk-space degraded.
+    uint64_t deferred_degraded = 0;
     /// Wall-clock (unix ms) each file last passed verification.
     std::map<std::string, int64_t> last_verified_unix_ms;
   };

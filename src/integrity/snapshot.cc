@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 
 #include "common/file_util.h"
 #include "common/logging.h"
@@ -83,6 +84,28 @@ Result<SnapshotInfo> SnapshotManager::Create(
     members.emplace_back(extra, true);
   }
 
+  resource::DiskSpaceGovernor::Reservation res;
+  if (governor_ != nullptr) {
+    if (governor_->degraded()) {
+      SAGA_COUNTER("integrity.snapshot.deferred").Add();
+      return Status::StorageExhausted(
+          "snapshot create deferred: store is disk-space degraded");
+    }
+    // Only the byte-copied members cost space; hard-linked tables
+    // share their inode with the live store.
+    uint64_t copy_bytes = 4096;  // staging dir + SNAPMANIFEST slack
+    for (const auto& [src, immutable] : members) {
+      if (immutable) continue;
+      if (auto size = FileSize(src); size.ok()) copy_bytes += *size;
+    }
+    auto r = governor_->Reserve(copy_bytes);
+    if (!r.ok()) {
+      SAGA_COUNTER("integrity.snapshot.deferred").Add();
+      return r.status();
+    }
+    res = std::move(*r);
+  }
+
   SAGA_RETURN_IF_ERROR(CreateDirIfMissing(root_));
   const std::string staging = JoinPath(root_, kStagingPrefix + name);
   (void)RemoveDirRecursively(staging);  // debris from a crashed create
@@ -113,8 +136,37 @@ Result<SnapshotInfo> SnapshotManager::Create(
   SAGA_RETURN_IF_ERROR(WriteStringToFile(JoinPath(staging, kSnapManifestName),
                                          manifest, /*durable=*/true));
   SAGA_RETURN_IF_ERROR(RenameFileDurable(staging, final_dir));
+  res.Commit(res.bytes());
   SAGA_COUNTER("integrity.snapshot.created").Add();
   return info;
+}
+
+Result<uint64_t> SnapshotManager::PruneOldest(size_t retention_floor) {
+  SAGA_ASSIGN_OR_RETURN(std::vector<std::string> names, List());
+  std::sort(names.begin(), names.end());
+  uint64_t freed = 0;
+  while (names.size() > retention_floor) {
+    const std::string victim = names.front();
+    names.erase(names.begin());
+    const std::string dir = SnapshotDir(victim);
+    // Count only bytes the deletion actually returns: a hard-linked
+    // table still referenced by the live store (link count > 1) frees
+    // nothing when this snapshot's link goes away.
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file(ec)) continue;
+      const auto links = std::filesystem::hard_link_count(entry.path(), ec);
+      if (ec || links > 1) continue;
+      const auto size = entry.file_size(ec);
+      if (!ec) freed += size;
+    }
+    SAGA_RETURN_IF_ERROR(RemoveDirRecursively(dir));
+    SAGA_COUNTER("integrity.snapshot.pruned").Add();
+    SAGA_LOG(Info) << "pruned snapshot " << victim << " (" << freed
+                   << "B cumulative unique bytes)";
+  }
+  return freed;
 }
 
 Result<std::vector<std::string>> SnapshotManager::List() const {

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "resource/disk_space_governor.h"
 
 namespace saga::integrity {
 
@@ -70,6 +71,23 @@ class SnapshotManager {
 
   Result<SnapshotInfo> Info(const std::string& name) const;
 
+  /// Deletes snapshots oldest-first (lexicographic name order =
+  /// creation order for timestamped names) until at most
+  /// `retention_floor` remain. Returns the bytes actually freed:
+  /// hard-linked members still referenced by the live store free
+  /// nothing and are not counted. Registered with the disk-space
+  /// governor as the last-resort reclaim task; per the governor
+  /// contract it does NOT call OnBytesFreed itself.
+  Result<uint64_t> PruneOldest(size_t retention_floor);
+
+  /// Optional disk-space governor. When set, Create() is refused with
+  /// a storage-origin kResourceExhausted while the store is degraded
+  /// (a snapshot consumes exactly the space reclaim is fighting for)
+  /// and reserves the byte-copy cost up front otherwise. Not owned.
+  void set_governor(resource::DiskSpaceGovernor* governor) {
+    governor_ = governor;
+  }
+
   const std::string& root() const { return root_; }
   const std::string& store_dir() const { return store_dir_; }
 
@@ -86,6 +104,7 @@ class SnapshotManager {
 
   std::string store_dir_;
   std::string root_;
+  resource::DiskSpaceGovernor* governor_ = nullptr;
 };
 
 }  // namespace saga::integrity

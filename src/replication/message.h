@@ -20,6 +20,22 @@ struct LogRecord {
   bool is_noop() const { return payload.empty(); }
 };
 
+/// Why a follower rejected an append (kAppendAck with success=false).
+/// The leader's reaction differs by cause: a log mismatch means the
+/// ship cursor must back up and re-ship earlier records, while a
+/// follower out of disk budget has a perfectly consistent log — backing
+/// up would re-send records it already has and still cannot store.
+enum class NackReason : uint8_t {
+  kNone = 0,
+  /// (prev_seq, prev_epoch) did not match the follower's log, or the
+  /// append failed structurally — back up and re-ship.
+  kLogMismatch,
+  /// The follower is disk-space degraded and refused to append. Its
+  /// `last_seq` is still a proven shared prefix; the leader holds the
+  /// cursor and retries on a later heartbeat instead of regressing.
+  kNoSpace,
+};
+
 enum class MessageType : uint8_t {
   /// Leader -> follower: records from `prev_seq + 1`, or an empty
   /// heartbeat carrying only `commit_seq`. Every append doubles as a
@@ -61,6 +77,8 @@ struct Message {
   /// Acker's log end after processing (ship-cursor hint), or the
   /// voter's log end.
   uint64_t last_seq = 0;
+  /// kAppendAck with success=false: why (see NackReason).
+  NackReason nack_reason = NackReason::kNone;
 
   // --- kVoteRequest ---
   /// Candidate's log end, compared lexicographically as

@@ -187,6 +187,14 @@ Result<uint64_t> Replica::LeaderAppend(std::string payload, double now_ms) {
   if (payload.empty()) {
     return Status::InvalidArgument("empty payloads are reserved for no-ops");
   }
+  if (options_.governor != nullptr && options_.governor->degraded()) {
+    // Read-only degraded: refuse before assigning a seq, with a
+    // storage-origin status the retry layer will never re-attempt.
+    SAGA_COUNTER("replication.replica.append_rejected_no_space").Add();
+    obs::MarkSpanError(StatusCode::kResourceExhausted);
+    return Status::StorageExhausted(
+        "leader is disk-space degraded; appends refused");
+  }
   const uint64_t seq = log_.last_seq() + 1;
   SAGA_RETURN_IF_ERROR(log_.Append(LogRecord{seq, epoch_, std::move(payload)},
                                    options_.durable_appends));
@@ -315,6 +323,7 @@ void Replica::HandleAppend(const Message& m, double now_ms) {
   }
   if (!consistent) {
     ack.success = false;
+    ack.nack_reason = NackReason::kLogMismatch;
     ack.last_seq = log_.last_seq();
     StampTrace(ack);
     transport_->Send(ack, now_ms);
@@ -330,6 +339,7 @@ void Replica::HandleAppend(const Message& m, double now_ms) {
   // living on fewer real copies than quorum — exactly the lost-write
   // the protocol exists to prevent.
   uint64_t matched = m.prev_seq;
+  bool no_space = false;
   for (const LogRecord& rec : m.records) {
     if (const LogRecord* existing = log_.At(rec.seq)) {
       if (existing->epoch == rec.epoch) {  // duplicate delivery
@@ -340,7 +350,22 @@ void Replica::HandleAppend(const Message& m, double now_ms) {
       (void)log_.TruncateFrom(rec.seq);
     }
     if (rec.seq != log_.last_seq() + 1) break;  // out-of-window record
-    if (!log_.Append(rec, options_.durable_appends).ok()) break;
+    if (options_.governor != nullptr && options_.governor->degraded()) {
+      // Out of disk budget: refuse the record instead of dying on the
+      // append. Everything up to `matched` is still proven-shared.
+      no_space = true;
+      break;
+    }
+    Status appended = log_.Append(rec, options_.durable_appends);
+    if (!appended.ok()) {
+      if (appended.IsStorageExhausted()) {
+        no_space = true;
+        if (options_.governor != nullptr) {
+          options_.governor->NoteExhausted(appended.message());
+        }
+      }
+      break;
+    }
     matched = rec.seq;
   }
 
@@ -352,8 +377,19 @@ void Replica::HandleAppend(const Message& m, double now_ms) {
     ApplyUpTo(commit_seq_);
   }
 
-  ack.success = true;
-  ack.last_seq = matched;
+  if (no_space) {
+    // NACK with a reason code: `last_seq = matched` is still a proven
+    // shared prefix, so the leader may advance its match index — it
+    // just must not back up the ship cursor and re-send records this
+    // follower cannot store yet.
+    SAGA_COUNTER("replication.replica.nack_no_space").Add();
+    ack.success = false;
+    ack.nack_reason = NackReason::kNoSpace;
+    ack.last_seq = matched;
+  } else {
+    ack.success = true;
+    ack.last_seq = matched;
+  }
   StampTrace(ack);
   transport_->Send(ack, now_ms);
 }
@@ -376,6 +412,17 @@ void Replica::HandleAppendAck(const Message& m, double now_ms) {
     // max_batch_records batch per round trip instead of one per
     // heartbeat interval.
     if (next_seq_[m.from] <= log_.last_seq()) ShipTo(m.from, now_ms);
+  } else if (m.nack_reason == NackReason::kNoSpace) {
+    // The follower's log is consistent — it is out of disk budget.
+    // Its last_seq is a proven shared prefix, so adopt it as match and
+    // hold the ship cursor where it is: backing up (or re-shipping
+    // immediately) would hammer a full follower with records it still
+    // cannot store. The regular heartbeat retries once it recovers.
+    SAGA_COUNTER("replication.replica.peer_no_space").Add();
+    uint64_t& match = match_seq_[m.from];
+    match = std::max(match, m.last_seq);
+    next_seq_[m.from] = std::max(next_seq_[m.from], match + 1);
+    AdvanceCommit();
   } else {
     // Back up the ship cursor toward the follower's log end (never
     // below 1); the next heartbeat re-ships from there.

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "replication/failure_detector.h"
+#include "resource/disk_space_governor.h"
 #include "replication/log.h"
 #include "replication/message.h"
 #include "replication/sim_transport.h"
@@ -81,6 +82,13 @@ class Replica {
     std::string wal_path;
     /// fsync every append before acking (WAL-backed logs only).
     bool durable_appends = true;
+    /// Optional disk-space governor for this node's data directory.
+    /// A degraded follower NACKs appends with NackReason::kNoSpace
+    /// (keeping its proven-shared last_seq so the leader does not back
+    /// up its ship cursor) instead of dying; a degraded leader refuses
+    /// LeaderAppend with a storage-origin kResourceExhausted. Not
+    /// owned.
+    resource::DiskSpaceGovernor* governor = nullptr;
   };
 
   /// Applies one committed record to the replica's state machine.

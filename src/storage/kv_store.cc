@@ -334,25 +334,85 @@ Status KvStore::LogOp(uint8_t op, std::string_view key,
   w.PutU8(op);
   w.PutString(key);
   w.PutString(value);
-  SAGA_RETURN_IF_ERROR(wal_->Append(rec));
-  if (options_.sync_every_write) SAGA_RETURN_IF_ERROR(wal_->Sync());
+  const uint64_t bytes = kWalRecordHeaderBytes + rec.size();
+  resource::DiskSpaceGovernor::Reservation res;
+  if (options_.governor != nullptr) {
+    auto r = options_.governor->Reserve(bytes);
+    if (!r.ok()) return r.status();
+    res = std::move(*r);
+  }
+  Status s = wal_->Append(rec);
+  if (s.ok() && options_.sync_every_write) s = wal_->Sync();
+  if (!s.ok()) {
+    // The reservation auto-releases; an ENOSPC the accounting did not
+    // predict (real or injected at wal.append / wal.sync / file.fsync)
+    // still trips degraded mode.
+    NoteWriteFailure(s);
+    return s;
+  }
+  res.Commit(bytes);
   return Status::OK();
+}
+
+Status KvStore::CheckWritable() {
+  if (options_.governor != nullptr && options_.governor->degraded()) {
+    SAGA_COUNTER("storage.kv.write_rejected").Add();
+    return Status::StorageExhausted(
+        "store is read-only degraded (disk budget exhausted): " + dir_);
+  }
+  return Status::OK();
+}
+
+Status KvStore::EnsureWalUsable() {
+  if (!options_.use_wal || !wal_->poisoned()) return Status::OK();
+  // Fsync-gate recovery: the poisoned fd is never re-fsynced. Every
+  // record whose Sync succeeded is in the memtable, so flushing the
+  // memtable (table + manifest commit + WAL truncate on a fresh fd)
+  // rebuilds the log without losing anything acknowledged.
+  SAGA_COUNTER("storage.kv.wal_rebuilds").Add();
+  SAGA_LOG(Warning) << "rebuilding fsync-poisoned WAL in " << dir_;
+  if (!memtable_.empty()) return Flush();
+  return wal_->Reset();
+}
+
+void KvStore::NoteWriteFailure(const Status& s) {
+  if (options_.governor != nullptr && s.IsStorageExhausted()) {
+    options_.governor->NoteExhausted(s.message());
+  }
 }
 
 Status KvStore::Put(std::string_view key, std::string_view value) {
   if (key.empty()) return Status::InvalidArgument("empty key");
   obs::ScopedLatency timer(SAGA_LATENCY("storage.kv.put_ns"));
-  SAGA_RETURN_IF_ERROR(LogOp(kOpPut, key, value));
+  SAGA_RETURN_IF_ERROR(CheckWritable());
+  SAGA_RETURN_IF_ERROR(EnsureWalUsable());
+  Status logged = LogOp(kOpPut, key, value);
+  if (!logged.ok()) {
+    if (logged.IsStorageExhausted()) {
+      SAGA_COUNTER("storage.kv.write_rejected").Add();
+    }
+    return logged;
+  }
   memtable_.Put(key, value);
   ++stats_.puts;
+  SAGA_COUNTER("storage.kv.write_ok").Add();
   return MaybeFlush();
 }
 
 Status KvStore::Delete(std::string_view key) {
   if (key.empty()) return Status::InvalidArgument("empty key");
-  SAGA_RETURN_IF_ERROR(LogOp(kOpDelete, key, ""));
+  SAGA_RETURN_IF_ERROR(CheckWritable());
+  SAGA_RETURN_IF_ERROR(EnsureWalUsable());
+  Status logged = LogOp(kOpDelete, key, "");
+  if (!logged.ok()) {
+    if (logged.IsStorageExhausted()) {
+      SAGA_COUNTER("storage.kv.write_rejected").Add();
+    }
+    return logged;
+  }
   memtable_.Delete(key);
   ++stats_.deletes;
+  SAGA_COUNTER("storage.kv.write_ok").Add();
   return MaybeFlush();
 }
 
@@ -508,10 +568,40 @@ Status KvStore::Flush() {
   if (memtable_.empty()) return Status::OK();
   obs::ScopedSpan span("storage.kv.flush");
   obs::ScopedLatency timer(SAGA_LATENCY("storage.kv.flush_ns"));
+  if (Faults().armed()) {
+    // `sstable.flush` models the flush's table write hitting the
+    // device's ENOSPC (or failing outright) before any bytes land.
+    Status injected = Faults().InjectOp("sstable.flush");
+    if (!injected.ok()) {
+      NoteWriteFailure(injected);
+      return injected;
+    }
+  }
+  // Reclaim-class reservation: a flush *enables* reclaim (the WAL is
+  // truncated right after the manifest commit), so it may use the
+  // emergency floor — refusing it would wedge a full store with a fat
+  // memtable it can never drain. Slack covers index/bloom/footer
+  // overhead beyond the raw entry bytes.
+  resource::DiskSpaceGovernor::Reservation res;
+  if (options_.governor != nullptr) {
+    const uint64_t estimate =
+        memtable_.ApproximateBytes() + memtable_.ApproximateBytes() / 8 + 4096;
+    auto r = options_.governor->Reserve(
+        estimate, resource::DiskSpaceGovernor::ReservationClass::kReclaim);
+    if (!r.ok()) {
+      NoteWriteFailure(r.status());
+      return r.status();
+    }
+    res = std::move(*r);
+  }
   const std::string path = SstPath(next_sst_seq_++);
-  SAGA_ASSIGN_OR_RETURN(std::shared_ptr<SSTableReader> reader,
-                        BuildTableWithRetry(path, memtable_.entries()));
-  sstables_.push_back(std::move(reader));
+  auto built = BuildTableWithRetry(path, memtable_.entries());
+  if (!built.ok()) {
+    NoteWriteFailure(built.status());
+    return built.status();
+  }
+  sstables_.push_back(std::move(*built));
+  res.Commit(sstables_.back()->file_bytes());
   Status ms = WriteManifest();
   if (!ms.ok()) {
     // The table is on disk but not committed; undo and leave the
@@ -524,7 +614,11 @@ Status KvStore::Flush() {
   memtable_.Clear();
   ++stats_.flushes;
   // Only after the manifest commit is it safe to drop the WAL.
+  const uint64_t wal_bytes = options_.use_wal ? wal_->bytes_written() : 0;
   if (options_.use_wal) SAGA_RETURN_IF_ERROR(wal_->Reset());
+  if (options_.governor != nullptr && wal_bytes > 0) {
+    options_.governor->OnBytesFreed(wal_bytes);
+  }
   if (options_.auto_compact_trigger > 0 &&
       static_cast<int>(sstables_.size()) > options_.auto_compact_trigger) {
     SAGA_RETURN_IF_ERROR(CompactAll());
@@ -535,15 +629,36 @@ Status KvStore::Flush() {
 Status KvStore::CompactAll() {
   obs::ScopedSpan span("storage.kv.compact");
   // Retry removals a previous compaction could not complete.
-  std::vector<std::string> still_pending;
-  for (const auto& p : pending_gc_) {
-    if (FileExists(p) && !RemoveFileIfExists(p).ok()) {
-      still_pending.push_back(p);
-    }
+  SAGA_ASSIGN_OR_RETURN(uint64_t gc_freed, DropObsoleteFiles());
+  if (options_.governor != nullptr && gc_freed > 0) {
+    options_.governor->OnBytesFreed(gc_freed);
   }
-  pending_gc_ = std::move(still_pending);
 
   if (sstables_.size() <= 1) return Status::OK();
+  if (Faults().armed()) {
+    // `compaction.write` models the merged output table hitting ENOSPC
+    // (or a plain failure) before the merge writes its first byte.
+    Status injected = Faults().InjectOp("compaction.write");
+    if (!injected.ok()) {
+      NoteWriteFailure(injected);
+      return injected;
+    }
+  }
+  // Reclaim-class reservation sized at the sum of the inputs (an upper
+  // bound on the merged output): compaction may dip into the emergency
+  // floor because it is the mechanism that frees space.
+  resource::DiskSpaceGovernor::Reservation res;
+  if (options_.governor != nullptr) {
+    uint64_t estimate = 4096;
+    for (const auto& sst : sstables_) estimate += sst->file_bytes();
+    auto r = options_.governor->Reserve(
+        estimate, resource::DiskSpaceGovernor::ReservationClass::kReclaim);
+    if (!r.ok()) {
+      NoteWriteFailure(r.status());
+      return r.status();
+    }
+    res = std::move(*r);
+  }
   std::map<std::string, MemTable::Entry, std::less<>> merged;
   for (const auto& sst : sstables_) {  // oldest first
     // Checked scan: compaction rewrites history, so folding a rotted
@@ -564,12 +679,19 @@ Status KvStore::CompactAll() {
     it = it->second.is_tombstone ? merged.erase(it) : std::next(it);
   }
   const std::string path = SstPath(next_sst_seq_++);
-  SAGA_ASSIGN_OR_RETURN(std::shared_ptr<SSTableReader> reader,
-                        BuildTableWithRetry(path, merged));
+  auto built = BuildTableWithRetry(path, merged);
+  if (!built.ok()) {
+    NoteWriteFailure(built.status());
+    return built.status();
+  }
+  std::shared_ptr<SSTableReader> reader = std::move(*built);
+  res.Commit(reader->file_bytes());
 
-  std::vector<std::string> old_paths;
+  std::vector<std::pair<std::string, uint64_t>> old_paths;
   old_paths.reserve(sstables_.size());
-  for (const auto& sst : sstables_) old_paths.push_back(sst->path());
+  for (const auto& sst : sstables_) {
+    old_paths.emplace_back(sst->path(), sst->file_bytes());
+  }
 
   std::vector<std::shared_ptr<SSTableReader>> new_tables;
   new_tables.push_back(std::move(reader));
@@ -582,16 +704,39 @@ Status KvStore::CompactAll() {
     (void)RemoveFileIfExists(path);
     return ms;
   }
-  for (const auto& p : old_paths) {
-    if (!RemoveFileIfExists(p).ok()) {
+  uint64_t bytes_freed = 0;
+  for (const auto& [p, size] : old_paths) {
+    if (RemoveFileIfExists(p).ok()) {
+      bytes_freed += size;
+    } else {
       // Non-fatal: the compaction is committed; the leftover is
       // unreferenced and will be collected by a later CompactAll (or
       // quarantined at the next open).
       pending_gc_.push_back(p);
     }
   }
+  if (options_.governor != nullptr && bytes_freed > 0) {
+    options_.governor->OnBytesFreed(bytes_freed);
+  }
   ++stats_.compactions;
   return Status::OK();
+}
+
+Result<uint64_t> KvStore::DropObsoleteFiles() {
+  std::vector<std::string> still_pending;
+  uint64_t freed = 0;
+  for (const auto& p : pending_gc_) {
+    if (!FileExists(p)) continue;
+    uint64_t size = 0;
+    if (auto fs = FileSize(p); fs.ok()) size = *fs;
+    if (RemoveFileIfExists(p).ok()) {
+      freed += size;
+    } else {
+      still_pending.push_back(p);
+    }
+  }
+  pending_gc_ = std::move(still_pending);
+  return freed;
 }
 
 Status KvStore::VerifyTables() const {

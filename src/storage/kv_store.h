@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/retry.h"
 #include "common/status.h"
+#include "resource/disk_space_governor.h"
 #include "storage/memtable.h"
 #include "storage/sstable.h"
 #include "storage/wal.h"
@@ -69,6 +70,13 @@ class KvStore {
     /// wal.records_dropped, wal.bytes_dropped, retry.attempts). Not
     /// owned; must outlive the store.
     MetricsRegistry* metrics = nullptr;
+    /// Optional disk-space governor. When set, every write path
+    /// reserves bytes before touching disk (WAL append, memtable
+    /// flush, compaction output), ENOSPC-shaped failures trip the
+    /// governor's read-only degraded mode, and Put/Delete fail fast
+    /// with a storage-origin kResourceExhausted while degraded — reads
+    /// keep serving. Not owned; must outlive the store.
+    resource::DiskSpaceGovernor* governor = nullptr;
   };
 
   struct Stats {
@@ -150,6 +158,12 @@ class KvStore {
   /// Paths of the live tables, oldest first (for snapshots/scrub).
   std::vector<std::string> LiveTablePaths() const;
 
+  /// Deletes stale table files whose earlier removal failed
+  /// (pending_gc) and returns the bytes freed. Registered with the
+  /// disk-space governor as a reclaim task; per the governor contract
+  /// it does NOT call OnBytesFreed itself.
+  Result<uint64_t> DropObsoleteFiles();
+
   size_t num_sstables() const { return sstables_.size(); }
   size_t memtable_bytes() const { return memtable_.ApproximateBytes(); }
   const Stats& stats() const { return stats_; }
@@ -169,6 +183,17 @@ class KvStore {
   std::string WalPath() const;
   std::string ManifestPath() const;
   Status LogOp(uint8_t op, std::string_view key, std::string_view value);
+  /// Degraded-mode gate for Put/Delete: storage-origin
+  /// kResourceExhausted (never retried by RetryPolicy) while the
+  /// governor reports degraded.
+  Status CheckWritable();
+  /// Rebuilds a fsync-gate-poisoned WAL before the next append: flush
+  /// the memtable (manifest commit + truncate) when it has data, else
+  /// truncate in place — either way the log comes back on a fresh fd.
+  Status EnsureWalUsable();
+  /// Routes an ENOSPC-shaped write failure into the governor's
+  /// degraded-mode trip (no-op for other failures / no governor).
+  void NoteWriteFailure(const Status& s);
 
   /// Commits the current live table set (sstables_ paths) durably.
   Status WriteManifest();

@@ -118,6 +118,9 @@ Status WalWriter::FlushBuffer() {
 
 Status WalWriter::Append(std::string_view record) {
   if (!IsOpen()) return Status::FailedPrecondition("WAL not open");
+  if (poisoned_) {
+    return Status::FsyncGate("WAL poisoned by failed fsync: " + path_);
+  }
   std::string encoded;
   BinaryWriter w(&encoded);
   w.PutFixed32(Crc32(record));
@@ -125,6 +128,9 @@ Status WalWriter::Append(std::string_view record) {
   encoded.append(record);
   if (Faults().armed()) {
     const WriteFault f = Faults().InjectWrite("wal.append", &encoded);
+    if (f.no_space) {
+      return Status::StorageExhausted("injected WAL ENOSPC: " + path_);
+    }
     if (f.fail && !f.write_payload) {
       return Status::IOError("injected WAL append failure: " + path_);
     }
@@ -147,17 +153,34 @@ Status WalWriter::Append(std::string_view record) {
 
 Status WalWriter::Sync() {
   if (!IsOpen()) return Status::FailedPrecondition("WAL not open");
+  if (poisoned_) {
+    return Status::FsyncGate("WAL poisoned by failed fsync: " + path_);
+  }
   if (Faults().armed()) {
-    SAGA_RETURN_IF_ERROR(Faults().InjectOp("wal.sync"));
+    Status injected = Faults().InjectOp("wal.sync");
+    if (!injected.ok()) {
+      // A failed sync poisons the writer whatever its cause: the fd's
+      // dirty state is now indeterminate and must never be re-fsynced.
+      // Keep a storage origin (injected ENOSPC) as-is; anything else
+      // surfaces as the fsync-gate itself.
+      poisoned_ = true;
+      if (injected.IsStorageExhausted()) return injected;
+      return Status::FsyncGate("injected WAL fsync failure " + path_ + ": " +
+                               injected.message());
+    }
   }
   SAGA_RETURN_IF_ERROR(FlushBuffer());
 #ifdef SAGA_WAL_OFSTREAM_FALLBACK
   out_.flush();
-  if (!out_) return Status::IOError("WAL sync failed: " + path_);
+  if (!out_) {
+    poisoned_ = true;
+    return Status::FsyncGate("WAL sync failed: " + path_);
+  }
 #else
   if (::fsync(fd_) != 0) {
-    return Status::IOError("WAL fsync failed " + path_ + ": " +
-                           std::strerror(errno));
+    poisoned_ = true;
+    return Status::FsyncGate("WAL fsync failed " + path_ + ": " +
+                             std::strerror(errno));
   }
 #endif
   return Status::OK();
@@ -166,6 +189,7 @@ Status WalWriter::Sync() {
 Status WalWriter::Reset() {
   buffer_.clear();
   CloseFd();
+  poisoned_ = false;
 #ifdef SAGA_WAL_OFSTREAM_FALLBACK
   out_.open(path_, std::ios::binary | std::ios::trunc);
   if (!out_) return Status::IOError("cannot truncate WAL: " + path_);

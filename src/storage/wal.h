@@ -34,6 +34,13 @@ uint32_t Crc32(std::string_view data);
 /// buffer to the fd and fsyncs, so a Status::OK from Sync means the
 /// records are durable, not merely handed to the OS. Fault points:
 /// `wal.open`, `wal.append` (payload-mutating), `wal.sync`.
+///
+/// Fsync-gate: a failed Sync() poisons the writer. After fsync reports
+/// failure the kernel may have dropped the dirty pages, so re-fsyncing
+/// the same fd can "succeed" for records that never reached disk;
+/// every Append/Sync on a poisoned writer therefore fails fast with a
+/// kFsyncGate status until Reset() rebuilds the log on a fresh fd
+/// (truncate-to-empty after the memtable is flushed elsewhere).
 class WalWriter {
  public:
   explicit WalWriter(std::string path);
@@ -47,12 +54,17 @@ class WalWriter {
 
   Status Append(std::string_view record);
 
-  /// Flushes buffered records to the file and fsyncs it.
+  /// Flushes buffered records to the file and fsyncs it. A failure
+  /// poisons the writer (see class comment).
   Status Sync();
 
   /// Closes and truncates the log to empty (called after a successful
-  /// memtable flush).
+  /// memtable flush). Clears the fsync-gate poison: the truncated file
+  /// on a fresh fd is a rebuilt log with nothing suspect in flight.
   Status Reset();
+
+  /// True after a failed Sync until the log is rebuilt via Reset().
+  bool poisoned() const { return poisoned_; }
 
   uint64_t bytes_written() const { return bytes_written_; }
 
@@ -70,6 +82,7 @@ class WalWriter {
   int fd_ = -1;
 #endif
   uint64_t bytes_written_ = 0;
+  bool poisoned_ = false;
 };
 
 /// Everything learned from reading a WAL file: the intact records plus

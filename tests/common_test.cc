@@ -612,6 +612,22 @@ TEST(RetryPolicyTest, RetryableSetIsPinned) {
     EXPECT_EQ(RetryPolicy::NeverRetryable(s), code == StatusCode::kDataLoss)
         << StatusCodeToString(code);
   }
+
+  // Origins tighten the set on top of codes: the same StatusCode flips
+  // to permanent when it came from a full disk or a failed fsync.
+  // kStorageExhausted: retrying cannot free space, only reclaim can.
+  // kFsyncGate: a re-fsynced fd can claim success for dropped pages.
+  const Status full_disk = Status::StorageExhausted("disk full");
+  EXPECT_EQ(full_disk.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(RetryPolicy::NeverRetryable(full_disk));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(full_disk));
+  const Status gated = Status::FsyncGate("fsync failed");
+  EXPECT_EQ(gated.code(), StatusCode::kIOError);
+  EXPECT_TRUE(RetryPolicy::NeverRetryable(gated));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(gated));
+  // Origin-free variants of the same codes stay retryable.
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::ResourceExhausted("queue")));
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::IOError("transient")));
 }
 
 TEST(RetryPolicyTest, DataLossIsNeverRetriedEvenWithCustomPredicate) {

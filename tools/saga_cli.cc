@@ -21,6 +21,10 @@
 //   saga_cli top <kg> [refreshes]               live rates/latency view
 //   saga_cli faults list                        dump every registered
 //                                               fault point (+ armed)
+//   saga_cli resource <store> [--budget N]      disk-budget inspection /
+//            [--floor N] [--demo]               override; --demo runs a
+//                                               fill->degrade->reclaim
+//                                               cycle against the store
 
 #include <chrono>
 #include <cstdio>
@@ -48,6 +52,8 @@
 #include "kg/knowledge_graph.h"
 #include "odke/profiler.h"
 #include "replication/replica_group.h"
+#include "resource/disk_space_governor.h"
+#include "storage/kv_store.h"
 #include "serving/embedding_service.h"
 #include "serving/related_entities.h"
 
@@ -71,7 +77,9 @@ int Usage() {
                "[--seed N]\n"
                "  saga_cli trace dump [writes] [--seed N] [--out FILE]\n"
                "  saga_cli top <kg> [refreshes]\n"
-               "  saga_cli faults list\n");
+               "  saga_cli faults list\n"
+               "  saga_cli resource <store> [--budget N] [--floor N] "
+               "[--demo]\n");
   return 2;
 }
 
@@ -228,6 +236,31 @@ obs::HealthSection BuildReplicationSection() {
   return section;
 }
 
+/// Resource surface: disk-budget gauges (free/budget/reserved bytes,
+/// degraded state) and denial/reclaim counters. Live in a process
+/// hosting a DiskSpaceGovernor (`saga_cli resource <store> --demo`
+/// for a demo).
+obs::HealthSection BuildResourceSection() {
+  obs::HealthSection section("resource");
+  const auto gauges = obs::Registry::Global().GaugesWithPrefix("resource.");
+  if (gauges.empty()) {
+    section.Note("no disk-space governor active in this process");
+    return section;
+  }
+  for (const auto& [name, value] : gauges) {
+    if (name == "resource.governor.degraded") {
+      section.Row(name, value > 0 ? "read-only degraded" : "writable");
+      continue;
+    }
+    section.Row(name, value, 0);
+  }
+  for (const auto& [name, value] :
+       obs::Registry::Global().CountersWithPrefix("resource.")) {
+    section.Row(name, value);
+  }
+  return section;
+}
+
 /// SLO verdict section: burn rates of the built-in platform SLOs over
 /// the most recent GlobalHistory window (also exported as obs.slo.*
 /// gauges by Evaluate).
@@ -259,6 +292,7 @@ std::vector<obs::HealthSection> BuildHealthSections() {
   sections.push_back(BuildServingSection());
   sections.push_back(BuildIntegritySection());
   sections.push_back(BuildReplicationSection());
+  sections.push_back(BuildResourceSection());
   return sections;
 }
 
@@ -280,6 +314,90 @@ int CmdFaults(int argc, char** argv) {
     for (const std::string& p : armed) std::printf("  %s\n", p.c_str());
   }
   return 0;
+}
+
+/// `saga_cli resource <store> [--budget N] [--floor N] [--demo]` —
+/// disk-space budget inspection and override. Without --demo, builds a
+/// governor over the store directory (real statvfs free space, or the
+/// simulated --budget) and prints its health section: free bytes,
+/// emergency floor, the degraded-exit threshold. With --demo, opens
+/// the store under a tight simulated budget and drives the full
+/// exhaustion cycle: write until the governor trips read-only degraded
+/// mode, show reads still serving, run reclaim, then raise the budget
+/// (the override) and show writes succeeding again.
+int CmdResource(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string dir = argv[2];
+  uint64_t budget = 0;
+  uint64_t floor = 0;
+  bool demo = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      budget = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--floor") == 0 && i + 1 < argc) {
+      floor = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    }
+  }
+  if (demo && budget == 0) budget = 1 << 20;  // 1 MiB: trips quickly
+  resource::DiskSpaceGovernor::Options gopts;
+  gopts.budget_bytes = budget;
+  gopts.emergency_floor_bytes = floor > 0 ? floor : (demo ? 64 << 10 : 4 << 20);
+  resource::DiskSpaceGovernor governor(dir, gopts);
+
+  if (!demo) {
+    std::printf("%s", governor.BuildHealthSection().Text().c_str());
+    return 0;
+  }
+
+  storage::KvStore::Options kopts;
+  kopts.memtable_max_bytes = 32 << 10;
+  kopts.auto_compact_trigger = 4;
+  kopts.governor = &governor;
+  auto store = storage::KvStore::Open(dir, kopts);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  governor.RegisterReclaimTask(
+      "kv.drop_obsolete", [&] { return (*store)->DropObsoleteFiles(); });
+
+  // Fill until the budget trips (or give up — budget too generous).
+  int acked = 0;
+  const std::string value(128, 'v');
+  while (!governor.degraded() && acked < 1000000) {
+    if ((*store)->Put("fact/" + std::to_string(acked), value).ok()) ++acked;
+  }
+  std::printf("acked writes before exhaustion: %d (budget %llu bytes)\n",
+              acked, static_cast<unsigned long long>(budget));
+  if (!governor.degraded()) {
+    std::fprintf(stderr, "governor never tripped; raise --budget?\n");
+    return 1;
+  }
+
+  // Reads keep serving while the store is read-only degraded.
+  const auto got = (*store)->Get("fact/0");
+  std::printf("degraded: writes rejected, read of fact/0 %s\n",
+              got.ok() ? "still serves" : "FAILED");
+
+  const uint64_t freed = governor.RunReclaim();
+  std::printf("reclaim freed %llu bytes; %s\n",
+              static_cast<unsigned long long>(freed),
+              governor.degraded() ? "still degraded" : "writable again");
+  if (governor.degraded()) {
+    // The override lever: double the budget and let the governor
+    // re-evaluate — the store exits degraded mode without a restart.
+    governor.SetBudgetBytes(budget * 2);
+    std::printf("budget override -> %llu bytes; %s\n",
+                static_cast<unsigned long long>(budget * 2),
+                governor.degraded() ? "still degraded" : "writable again");
+  }
+  const bool writable = (*store)->Put("fact/recovered", value).ok();
+  std::printf("post-recovery write: %s\n", writable ? "ok" : "REJECTED");
+
+  std::printf("\n%s", governor.BuildHealthSection().Text().c_str());
+  return !got.ok() || !writable ? 1 : 0;
 }
 
 /// `saga_cli replicate [n] [writes] [--kill-leader] [--seed N]` — the
@@ -794,6 +912,7 @@ int Main(int argc, char** argv) {
   if (cmd == "trace") return CmdTrace(argc, argv);
   if (cmd == "top") return CmdTop(argc, argv);
   if (cmd == "faults") return CmdFaults(argc, argv);
+  if (cmd == "resource") return CmdResource(argc, argv);
   return Usage();
 }
 
