@@ -17,6 +17,11 @@ cd "$root" || exit 2
 
 segment='[a-z0-9_]+'
 name_re="^${segment}\.${segment}\.${segment}$"
+# Background-maintenance metrics nest one level deeper under the kv
+# component: storage.kv.bg.<metric>. This is the one blessed 4-segment
+# family — a new nesting must be added here deliberately, exactly like
+# a new subsystem stem below.
+nested_re="^storage\.kv\.bg\.${segment}$"
 # Known subsystem stems (first segment). A new subsystem must be added
 # here deliberately — a typo'd stem ("integirty.scrub.passes") would
 # otherwise mint a fresh metric family that no dashboard watches.
@@ -39,7 +44,7 @@ check() {
     [ -n "$hit" ] || continue
     local name="${hit##*:}"
     local loc="${hit%:*}"
-    if ! [[ "$name" =~ $name_re ]]; then
+    if ! [[ "$name" =~ $name_re || "$name" =~ $nested_re ]]; then
       echo "BAD NAME  ${loc}: ${label}(\"${name}\") — want subsystem.component.metric"
       status=1
     elif ! [[ "$name" =~ $subsystem_re ]]; then

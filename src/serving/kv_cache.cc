@@ -1,5 +1,9 @@
 #include "serving/kv_cache.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
 #include "common/metrics.h"
 #include "common/serialization.h"
 
@@ -9,9 +13,26 @@ Result<std::unique_ptr<EmbeddingKvCache>> EmbeddingKvCache::Open(
     const std::string& dir, size_t memory_budget_bytes) {
   storage::KvStore::Options opts;
   opts.use_wal = false;  // cache contents are rebuildable
+  // Flush/compaction run on the store's maintenance thread so a
+  // rebuild never blocks the Get path behind storage maintenance.
+  opts.background_maintenance = true;
   SAGA_ASSIGN_OR_RETURN(auto kv, storage::KvStore::Open(dir, opts));
   return std::unique_ptr<EmbeddingKvCache>(
       new EmbeddingKvCache(std::move(kv), memory_budget_bytes));
+}
+
+EmbeddingKvCache::EmbeddingKvCache(std::unique_ptr<storage::KvStore> kv,
+                                   size_t memory_budget_bytes)
+    : kv_(std::move(kv)) {
+  const size_t per_shard =
+      std::max<size_t>(memory_budget_bytes / kShards, size_t{1});
+  for (auto& shard : shards_) {
+    shard = std::make_unique<Shard>(per_shard);
+  }
+}
+
+EmbeddingKvCache::Shard& EmbeddingKvCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % kShards];
 }
 
 std::string EmbeddingKvCache::KeyFor(kg::EntityId id) {
@@ -40,55 +61,84 @@ Status EmbeddingKvCache::PutAll(const embedding::EmbeddingStore& store) {
   for (kg::EntityId id : store.Ids()) {
     SAGA_RETURN_IF_ERROR(Put(id, *store.Get(id)));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  // No cache-level lock across the rebuild: concurrent Gets keep
+  // serving from the LRU tier and from KvStore read snapshots while
+  // the flush and compaction run.
   SAGA_RETURN_IF_ERROR(kv_->Flush());
   return kv_->CompactAll();
 }
 
 Status EmbeddingKvCache::Put(kg::EntityId id, const std::vector<float>& vec) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return kv_->Put(KeyFor(id), Encode(vec));
+  const std::string key = KeyFor(id);
+  std::string encoded = Encode(vec);
+  SAGA_RETURN_IF_ERROR(kv_->Put(key, encoded));
+  // Refresh the in-memory tier if the key is resident: leaving the old
+  // bytes in the LRU would serve a stale embedding forever to any
+  // entity read before this update. Absent keys are not write-
+  // allocated — the LRU stays read-driven (bulk precompute would
+  // otherwise wipe the hot working set).
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.lru.Contains(key)) {
+    (void)shard.lru.Put(key, std::move(encoded));
+  }
+  return Status::OK();
 }
 
 Result<std::vector<float>> EmbeddingKvCache::Get(kg::EntityId id) {
   obs::ScopedLatency timer(SAGA_LATENCY("serving.kv_cache.get_ns"));
-  std::lock_guard<std::mutex> lock(mu_);
   const std::string key = KeyFor(id);
-  if (auto cached = lru_.Get(key)) {
-    ++stats_.memory_hits;
-    SAGA_COUNTER("serving.kv_cache.memory_hits").Add();
-    UpdateHitRateGauges();
-    return Decode(*cached);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (auto cached = shard.lru.Get(key)) {
+      memory_hits_.fetch_add(1, std::memory_order_relaxed);
+      SAGA_COUNTER("serving.kv_cache.memory_hits").Add();
+      UpdateHitRateGauges();
+      return Decode(*cached);
+    }
   }
+  // Disk probe outside any shard lock: a slow or compacting store must
+  // not serialize unrelated reads behind this one.
   auto from_disk = kv_->Get(key);
   if (!from_disk.ok()) {
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     SAGA_COUNTER("serving.kv_cache.misses").Add();
     UpdateHitRateGauges();
     return from_disk.status();
   }
-  ++stats_.disk_hits;
+  disk_hits_.fetch_add(1, std::memory_order_relaxed);
   SAGA_COUNTER("serving.kv_cache.disk_hits").Add();
-  lru_.Put(key, from_disk.value());
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    (void)shard.lru.Put(key, from_disk.value());
+  }
   UpdateHitRateGauges();
   return Decode(from_disk.value());
 }
 
-void EmbeddingKvCache::UpdateHitRateGauges() {
-  // Called under mu_. Overall hit rate counts both tiers as hits; the
-  // LRU gauge isolates the in-memory tier.
-  const uint64_t lookups =
-      stats_.memory_hits + stats_.disk_hits + stats_.misses;
+EmbeddingKvCache::Stats EmbeddingKvCache::stats() const {
+  Stats s;
+  s.memory_hits = memory_hits_.load(std::memory_order_relaxed);
+  s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void EmbeddingKvCache::UpdateHitRateGauges() const {
+  // An LRU hit is exactly a memory hit and an LRU miss is exactly a
+  // disk hit or full miss, so both gauges derive from the same atomic
+  // tallies — no shard locks needed.
+  const uint64_t memory = memory_hits_.load(std::memory_order_relaxed);
+  const uint64_t disk = disk_hits_.load(std::memory_order_relaxed);
+  const uint64_t miss = misses_.load(std::memory_order_relaxed);
+  const uint64_t lookups = memory + disk + miss;
   if (lookups > 0) {
     SAGA_GAUGE("serving.kv_cache.hit_rate")
-        .Set(static_cast<double>(stats_.memory_hits + stats_.disk_hits) /
+        .Set(static_cast<double>(memory + disk) /
              static_cast<double>(lookups));
-  }
-  const uint64_t lru_lookups = lru_.hits() + lru_.misses();
-  if (lru_lookups > 0) {
     SAGA_GAUGE("serving.lru_cache.hit_rate")
-        .Set(static_cast<double>(lru_.hits()) /
-             static_cast<double>(lru_lookups));
+        .Set(static_cast<double>(memory) / static_cast<double>(lookups));
   }
 }
 

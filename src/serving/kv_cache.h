@@ -1,6 +1,9 @@
 #ifndef SAGA_SERVING_KV_CACHE_H_
 #define SAGA_SERVING_KV_CACHE_H_
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -17,47 +20,73 @@ namespace saga::serving {
 /// Two-tier low-latency embedding cache (§3.2: "precompute entity
 /// embeddings ... and cache the results in a low-latency key-value
 /// store"): in-memory LRU over the disk KV store.
+///
+/// Thread-safe and built not to stall readers: the LRU tier is sharded
+/// by key hash (one small mutex per shard, held only for the in-memory
+/// probe or insert, never across disk IO), the KV tier is the
+/// concurrent KvStore in background-maintenance mode, and PutAll's
+/// rebuild holds no lock at all — concurrent Gets keep serving from
+/// whichever tier has the key while the rebuild flushes and compacts
+/// underneath them.
 class EmbeddingKvCache {
  public:
+  /// Point-in-time snapshot of the tallies (the live counters are
+  /// atomics bumped from many threads).
   struct Stats {
     uint64_t memory_hits = 0;
     uint64_t disk_hits = 0;
     uint64_t misses = 0;
   };
 
-  /// Opens the cache at `dir`; `memory_budget_bytes` sizes the LRU tier.
+  /// Opens the cache at `dir`; `memory_budget_bytes` sizes the LRU tier
+  /// (split evenly across the shards).
   static Result<std::unique_ptr<EmbeddingKvCache>> Open(
       const std::string& dir, size_t memory_budget_bytes);
 
-  /// Bulk-writes all embeddings of a store (the precompute step).
+  /// Bulk-writes all embeddings of a store (the precompute step), then
+  /// flushes and compacts the disk tier. Safe to run while readers are
+  /// serving; no lock is held across the rebuild.
   Status PutAll(const embedding::EmbeddingStore& store);
 
+  /// Writes through to disk and refreshes the LRU entry when the key
+  /// is resident there, so a reader that cached the old vector sees
+  /// the new one immediately (absent keys are not write-allocated).
   Status Put(kg::EntityId id, const std::vector<float>& vec);
 
   /// NotFound when the entity was never cached. Thread-safe: the
   /// annotation pipeline reads profiles from worker threads.
   Result<std::vector<float>> Get(kg::EntityId id);
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
   storage::KvStore* kv() { return kv_.get(); }
 
  private:
+  static constexpr size_t kShards = 8;
+
+  struct Shard {
+    std::mutex mu;
+    LruCache lru;
+    explicit Shard(size_t capacity_bytes) : lru(capacity_bytes) {}
+  };
+
   EmbeddingKvCache(std::unique_ptr<storage::KvStore> kv,
-                   size_t memory_budget_bytes)
-      : kv_(std::move(kv)), lru_(memory_budget_bytes) {}
+                   size_t memory_budget_bytes);
+
+  Shard& ShardFor(const std::string& key);
 
   /// Refreshes the serving.kv_cache / serving.lru_cache hit-rate
-  /// gauges from the running tallies (caller holds mu_).
-  void UpdateHitRateGauges();
+  /// gauges from the running tallies (lock-free).
+  void UpdateHitRateGauges() const;
 
   static std::string KeyFor(kg::EntityId id);
   static std::string Encode(const std::vector<float>& vec);
   static Result<std::vector<float>> Decode(const std::string& bytes);
 
-  std::mutex mu_;
   std::unique_ptr<storage::KvStore> kv_;
-  LruCache lru_;
-  Stats stats_;
+  std::array<std::unique_ptr<Shard>, kShards> shards_;
+  std::atomic<uint64_t> memory_hits_{0};
+  std::atomic<uint64_t> disk_hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace saga::serving

@@ -2,7 +2,10 @@
 
 namespace saga::serving {
 
-void LruCache::Put(const std::string& key, std::string value) {
+bool LruCache::Put(const std::string& key, std::string value) {
+  if (key.size() + value.size() > capacity_bytes_) {
+    return false;
+  }
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     size_bytes_ -= it->second.value.size();
@@ -17,6 +20,7 @@ void LruCache::Put(const std::string& key, std::string value) {
     entries_.emplace(key, Entry{std::move(value), lru_.begin()});
   }
   EvictIfNeeded();
+  return true;
 }
 
 std::optional<std::string> LruCache::Get(const std::string& key) {
@@ -33,7 +37,10 @@ std::optional<std::string> LruCache::Get(const std::string& key) {
 }
 
 void LruCache::EvictIfNeeded() {
-  while (size_bytes_ > capacity_bytes_ && !lru_.empty()) {
+  // size() > 1 spares the most-recently-touched entry (always
+  // lru_.front(), and by the oversized-reject above always within
+  // budget on its own).
+  while (size_bytes_ > capacity_bytes_ && lru_.size() > 1) {
     const std::string& victim = lru_.back();
     auto it = entries_.find(victim);
     size_bytes_ -= victim.size() + it->second.value.size();

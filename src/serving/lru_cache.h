@@ -10,7 +10,8 @@
 namespace saga::serving {
 
 /// Byte-budgeted LRU cache of string blobs. The in-memory tier in front
-/// of the KV-store embedding cache.
+/// of the KV-store embedding cache. Not thread-safe; callers shard and
+/// lock (see EmbeddingKvCache).
 class LruCache {
  public:
   explicit LruCache(size_t capacity_bytes)
@@ -19,7 +20,11 @@ class LruCache {
   LruCache(const LruCache&) = delete;
   LruCache& operator=(const LruCache&) = delete;
 
-  void Put(const std::string& key, std::string value);
+  /// Inserts or updates. Returns false — without touching the cache —
+  /// when key+value alone exceed the byte budget: admitting an entry
+  /// that can never fit would evict the whole working set and then be
+  /// evicted itself, churning the list for nothing.
+  bool Put(const std::string& key, std::string value);
   std::optional<std::string> Get(const std::string& key);
   bool Contains(const std::string& key) const {
     return entries_.count(key) > 0;
@@ -36,6 +41,9 @@ class LruCache {
     std::list<std::string>::iterator lru_it;
   };
 
+  /// Evicts from the cold end until back under budget, but never the
+  /// most-recently-touched entry — evicting what Put just wrote would
+  /// turn an over-budget update into a silent drop.
   void EvictIfNeeded();
 
   size_t capacity_bytes_;

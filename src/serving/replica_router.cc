@@ -6,12 +6,25 @@ namespace saga::serving {
 
 int ReplicaRouter::PickRead(const std::vector<ReplicaView>& replicas) {
   int leader = -1;
+  int fallback = -1;
+  uint64_t fallback_lag = 0;
   std::vector<int> eligible;
   eligible.reserve(replicas.size());
   for (const ReplicaView& r : replicas) {
     if (r.is_leader && r.healthy) leader = r.id;
-    if (r.is_leader || !options_.prefer_followers) continue;
-    if (!r.healthy || r.lag_records > options_.max_staleness_records) {
+    if (r.is_leader) continue;
+    // Unhealthy followers are simply not candidates — neither eligible
+    // nor a fallback, and not a "stale" skip (that tally tracks the
+    // staleness bound doing its job, not dead replicas).
+    if (!r.healthy) continue;
+    // Any healthy follower, however far behind, beats failing the read
+    // outright if the leader also turns out to be down.
+    if (fallback < 0 || r.lag_records < fallback_lag) {
+      fallback = r.id;
+      fallback_lag = r.lag_records;
+    }
+    if (!options_.prefer_followers) continue;
+    if (r.lag_records > options_.max_staleness_records) {
       ++stats_.stale_skips;
       SAGA_COUNTER("serving.replica_router.stale_skips").Add();
       continue;
@@ -27,6 +40,11 @@ int ReplicaRouter::PickRead(const std::vector<ReplicaView>& replicas) {
     ++stats_.leader_reads;
     SAGA_COUNTER("serving.replica_router.leader_reads").Add();
     return leader;
+  }
+  if (fallback >= 0) {
+    ++stats_.stale_fallbacks;
+    SAGA_COUNTER("serving.replica_router.stale_fallbacks").Add();
+    return fallback;
   }
   return -1;
 }

@@ -16,14 +16,19 @@ namespace saga::serving {
 /// source of replica health: the in-process ReplicaGroup today, a real
 /// cluster membership service later.
 ///
-/// Guarantee the chaos suite pins: PickRead never returns a follower
-/// whose `lag_records` exceeds `max_staleness_records`, and never one
-/// marked unhealthy (down or suspected by the leader's failure
-/// detector) — such reads land on the leader instead. Reads from a
-/// chosen follower are therefore bounded-stale: at most
+/// Guarantee the chaos suite pins: while a healthy leader exists,
+/// PickRead never returns a follower whose `lag_records` exceeds
+/// `max_staleness_records`, and it never returns one marked unhealthy
+/// (down or suspected by the leader's failure detector) — such reads
+/// land on the leader instead. Reads from a chosen follower are
+/// therefore bounded-stale in steady state: at most
 /// `max_staleness_records` behind the group commit index at routing
 /// time, and never from a divergent (uncommitted) tail, since lag is
-/// measured in committed records.
+/// measured in committed records. Last resort only — leader down AND
+/// no follower inside the bound — the router degrades to the
+/// least-stale healthy follower (counted as a `stale_fallback`) rather
+/// than failing the read: availability over freshness, but only once
+/// freshness is unattainable.
 class ReplicaRouter {
  public:
   struct ReplicaView {
@@ -46,16 +51,22 @@ class ReplicaRouter {
   struct Stats {
     uint64_t follower_reads = 0;
     uint64_t leader_reads = 0;
-    /// Followers skipped for lag or health on the way to a decision.
+    /// Healthy followers skipped because their lag exceeded the
+    /// staleness bound (unhealthy replicas are not counted — they are
+    /// not candidates at all).
     uint64_t stale_skips = 0;
+    /// Reads served by a beyond-bound follower because no healthy
+    /// leader and no in-bound follower existed.
+    uint64_t stale_fallbacks = 0;
   };
 
   ReplicaRouter() : ReplicaRouter(Options()) {}
   explicit ReplicaRouter(Options options) : options_(options) {}
 
   /// Picks the replica id to serve a read: round-robin over eligible
-  /// followers, else the leader, else -1 (no one can serve — caller
-  /// surfaces Unavailable).
+  /// followers, else the leader, else the least-stale healthy follower
+  /// (stale fallback), else -1 (no one can serve — caller surfaces
+  /// Unavailable).
   int PickRead(const std::vector<ReplicaView>& replicas);
 
   const Stats& stats() const { return stats_; }

@@ -1,7 +1,11 @@
 #ifndef SAGA_STORAGE_KV_STORE_H_
 #define SAGA_STORAGE_KV_STORE_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +16,7 @@
 #include "common/result.h"
 #include "common/retry.h"
 #include "common/status.h"
+#include "common/threadpool.h"
 #include "resource/disk_space_governor.h"
 #include "storage/memtable.h"
 #include "storage/sstable.h"
@@ -26,12 +31,28 @@ namespace saga::storage {
 ///
 /// Crash safety: every SSTable is built in a temp file and atomically
 /// renamed in; the set of live tables is committed in a small CRC'd
-/// MANIFEST written after each flush/compaction (before the WAL is
-/// reset), so a crash at any point leaves either the old or the new
-/// table set — never a torn mix. Recover() quarantines corrupt or
-/// orphaned tables (renames them aside and counts them) and degrades a
-/// bad WAL tail to "stop replay there" instead of refusing to open.
-/// See DESIGN.md, "Durability & failure model".
+/// MANIFEST written after each flush/compaction (before the covering
+/// WAL segments are deleted), so a crash at any point leaves either
+/// the old or the new table set — never a torn mix. Recover()
+/// quarantines corrupt or orphaned tables (renames them aside and
+/// counts them) and degrades a bad WAL tail to "stop replay there"
+/// instead of refusing to open. See DESIGN.md, "Durability & failure
+/// model".
+///
+/// Threading model (DESIGN.md, "KvStore threading model"): the store
+/// is safe for concurrent readers and writers. Reads take an
+/// immutable superversion snapshot — {active memtable, sealed
+/// immutable memtables, SSTable set} — published as a shared_ptr
+/// under a small mutex (RCU-style: readers copy the pointer and then
+/// probe lock-free; only the active-memtable probe takes a shared
+/// lock, since writers still mutate it). Writers are serialized with
+/// each other; a full memtable is sealed (made immutable, its WAL
+/// rotated into a segment) and either flushed inline (default) or
+/// handed to a background maintenance thread
+/// (Options::background_maintenance) so Put never waits on a flush or
+/// compaction. When maintenance falls behind, writes shed with
+/// kResourceExhausted instead of blocking (see
+/// Options::max_immutable_memtables / l0_stall_tables).
 class KvStore {
  public:
   struct Options {
@@ -75,19 +96,50 @@ class KvStore {
     /// flush, compaction output), ENOSPC-shaped failures trip the
     /// governor's read-only degraded mode, and Put/Delete fail fast
     /// with a storage-origin kResourceExhausted while degraded — reads
-    /// keep serving. Not owned; must outlive the store.
+    /// keep serving. Not owned; must outlive the store. Background
+    /// jobs take their reservations (and trip degraded mode) from the
+    /// maintenance thread with identical semantics.
     resource::DiskSpaceGovernor* governor = nullptr;
+    /// Move flush and compaction off the write path onto a dedicated
+    /// maintenance thread: Put seals the full memtable and schedules
+    /// work instead of flushing inline. Off by default — single-thread
+    /// embedded users (on-device pipeline, ODKE spill) keep the
+    /// synchronous contract where a returned Put already flushed.
+    bool background_maintenance = false;
+    /// Write-stall gate: with background maintenance on, a Put that
+    /// would seal while this many memtables are already sealed and
+    /// unflushed sheds with kResourceExhausted instead of blocking
+    /// behind the maintenance thread.
+    int max_immutable_memtables = 4;
+    /// Second stall gate, off by default: when > 0, a Put that would
+    /// seal while this many SSTables are live sheds until compaction
+    /// catches up (bounds read amplification under sustained ingest).
+    int l0_stall_tables = 0;
+    /// Admission hook for background jobs, ticketed like the scrubber:
+    /// invoked before each maintenance run; returning false sheds the
+    /// run, which backs off and retries (bg_admit_retries times, then
+    /// proceeds anyway — a flush that never runs would wedge writes).
+    /// The serving tier wires this to its AdmissionController at
+    /// low priority; storage itself stays serving-agnostic.
+    std::function<bool()> bg_admission;
+    int bg_admit_retries = 50;
+    int bg_shed_backoff_ms = 2;
   };
 
+  /// Monotonic operation tallies. Fields are atomics because readers
+  /// (gets, bloom_skips, sstable_probes) bump them concurrently from
+  /// many threads; loads are implicit via the conversion operator.
   struct Stats {
-    uint64_t puts = 0;
-    uint64_t deletes = 0;
-    uint64_t gets = 0;
-    uint64_t bloom_skips = 0;     // SSTable probes avoided by bloom
-    uint64_t sstable_probes = 0;  // SSTable Get() calls actually made
-    uint64_t flushes = 0;
-    uint64_t compactions = 0;
-    uint64_t bytes_flushed = 0;
+    std::atomic<uint64_t> puts{0};
+    std::atomic<uint64_t> deletes{0};
+    std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> bloom_skips{0};     // SSTable probes avoided by bloom
+    std::atomic<uint64_t> sstable_probes{0};  // SSTable Get() calls made
+    std::atomic<uint64_t> flushes{0};
+    std::atomic<uint64_t> compactions{0};
+    std::atomic<uint64_t> bytes_flushed{0};
+    /// Writes shed by the write-stall backpressure gate.
+    std::atomic<uint64_t> stall_rejects{0};
   };
 
   /// What Recover() found and repaired. Anything nonzero besides
@@ -113,6 +165,9 @@ class KvStore {
     uint64_t wal_records_dropped = 0;
     /// Trailing torn/corrupt WAL bytes discarded by replay.
     uint64_t wal_bytes_dropped = 0;
+    /// Sealed-but-unflushed WAL segments replayed (a crash while
+    /// background maintenance was behind).
+    uint64_t wal_segments_replayed = 0;
     bool manifest_found = false;
   };
 
@@ -120,6 +175,8 @@ class KvStore {
   static Result<std::unique_ptr<KvStore>> Open(const std::string& dir,
                                                Options options);
   static Result<std::unique_ptr<KvStore>> Open(const std::string& dir);
+
+  ~KvStore();
 
   KvStore(const KvStore&) = delete;
   KvStore& operator=(const KvStore&) = delete;
@@ -136,17 +193,22 @@ class KvStore {
   Result<std::string> Get(std::string_view key, const RequestContext& ctx);
 
   /// Key/value pairs whose key starts with `prefix`, in key order.
+  /// Reads from a superversion snapshot: concurrent writes may or may
+  /// not be visible, but every returned value was acknowledged.
   Result<std::vector<std::pair<std::string, std::string>>> ScanPrefix(
       std::string_view prefix);
 
-  /// Forces the memtable to disk.
+  /// Seals the active memtable and drains every sealed memtable to
+  /// disk inline (even with background maintenance on) — on return,
+  /// all prior writes are in SSTables.
   Status Flush();
 
   /// Merges all SSTables into one, dropping tombstones and shadowed
   /// versions. Also retries removal of any files a previous compaction
   /// failed to delete. Inputs are read checksum-verified: a rotted
   /// source block aborts the compaction with kDataLoss rather than
-  /// folding garbage into the merged table.
+  /// folding garbage into the merged table. Runs inline, serialized
+  /// with background maintenance.
   Status CompactAll();
 
   /// Re-verifies every block CRC of every live table (scrubber entry
@@ -164,66 +226,173 @@ class KvStore {
   /// it does NOT call OnBytesFreed itself.
   Result<uint64_t> DropObsoleteFiles();
 
-  size_t num_sstables() const { return sstables_.size(); }
-  size_t memtable_bytes() const { return memtable_.ApproximateBytes(); }
+  /// Blocks until no background maintenance is queued or running.
+  /// Sealed memtables may remain if the last run failed (see
+  /// background_error()); a later write reschedules the drain.
+  void WaitForMaintenance();
+
+  /// Outcome of the most recent background maintenance run (OK when
+  /// none has run). Foreground writes are unaffected by a failed run —
+  /// the WAL segments still cover the sealed memtables — but a stuck
+  /// error here plus rising imm_memtables() means the store is
+  /// stalling toward write sheds.
+  Status background_error() const;
+
+  size_t num_sstables() const;
+  size_t memtable_bytes() const;
+  /// Sealed memtables waiting for a (background) flush.
+  size_t imm_memtables() const;
   const Stats& stats() const { return stats_; }
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
   /// Stale table files whose removal failed and is pending retry.
-  size_t pending_gc() const { return pending_gc_.size(); }
+  size_t pending_gc() const;
   const std::string& dir() const { return dir_; }
   /// Null unless Options::enable_read_breaker.
   CircuitBreaker* read_breaker() { return read_breaker_.get(); }
 
  private:
+  /// A sealed memtable plus the newest WAL segment covering it; the
+  /// segment (and all older ones) is deleted only after this memtable
+  /// is flushed and manifest-committed.
+  struct ImmMemtable {
+    std::shared_ptr<const MemTable> mem;
+    uint64_t wal_seq = 0;
+  };
+
+  /// Immutable snapshot of the store's read state, published as a
+  /// shared_ptr under state_mu_ (RCU): readers copy the pointer and
+  /// probe without locks — except `mem`, which writers still mutate
+  /// and which is therefore probed under a shared mem_mu_ lock.
+  struct Superversion {
+    std::shared_ptr<MemTable> mem;
+    std::vector<ImmMemtable> imm;  // oldest first
+    /// Newest last; lookup walks back-to-front.
+    std::vector<std::shared_ptr<SSTableReader>> tables;
+  };
+
+  struct WalSegment {
+    uint64_t seq = 0;
+    std::string path;
+    uint64_t bytes = 0;
+  };
+
   KvStore(std::string dir, Options options);
 
   Status Recover();
-  Status MaybeFlush();
   std::string SstPath(uint64_t seq) const;
   std::string WalPath() const;
+  std::string WalSegmentPath(uint64_t seq) const;
   std::string ManifestPath() const;
   Status LogOp(uint8_t op, std::string_view key, std::string_view value);
   /// Degraded-mode gate for Put/Delete: storage-origin
   /// kResourceExhausted (never retried by RetryPolicy) while the
   /// governor reports degraded.
   Status CheckWritable();
-  /// Rebuilds a fsync-gate-poisoned WAL before the next append: flush
-  /// the memtable (manifest commit + truncate) when it has data, else
-  /// truncate in place — either way the log comes back on a fresh fd.
+  /// True when sealing another memtable would exceed
+  /// max_immutable_memtables / l0_stall_tables; optionally reports the
+  /// current counts.
+  bool SealGatesExceeded(size_t* imm_count, size_t* l0_count);
+  /// Write-stall backpressure: with background maintenance on, sheds
+  /// (plain kResourceExhausted) when the memtable is full but sealing
+  /// would exceed max_immutable_memtables / l0_stall_tables. Runs
+  /// before the WAL append so a shed write is never partially applied.
+  Status CheckWriteStall();
+  /// Rebuilds a fsync-gate-poisoned WAL before the next append: seal +
+  /// drain inline when the memtable has data (manifest commit, then
+  /// the poisoned segment is deleted), else truncate in place — either
+  /// way the log comes back on a fresh fd.
   Status EnsureWalUsable();
   /// Routes an ENOSPC-shaped write failure into the governor's
   /// degraded-mode trip (no-op for other failures / no governor).
   void NoteWriteFailure(const Status& s);
 
-  /// Commits the current live table set (sstables_ paths) durably.
-  Status WriteManifest();
+  /// Shared tail of Put/Delete under write_mu_: stall gate, WAL
+  /// append, memtable apply, seal-and-schedule when over budget.
+  Status WriteImpl(uint8_t op, std::string_view key, std::string_view value);
+  /// Makes the active memtable immutable: rotates the WAL into a
+  /// segment, appends the memtable to the superversion's imm list and
+  /// installs a fresh active memtable. Caller holds write_mu_.
+  Status SealActiveMemtableLocked();
+  /// Flushes sealed memtables oldest-first until none remain, then
+  /// auto-compacts if over trigger. Serialized by maint_mu_.
+  Status DrainMaintenance();
+  /// Flushes the single oldest sealed memtable (build + manifest
+  /// commit + superversion publish + covered-segment deletion).
+  /// Caller holds maint_mu_.
+  Status FlushOneImmLocked();
+  /// CompactAll body; caller holds maint_mu_.
+  Status CompactAllLocked();
+  /// Coalesced background trigger: queues one maintenance run on the
+  /// pool unless one is already queued.
+  void ScheduleMaintenance();
+  void RunBackgroundMaintenance();
+
+  std::shared_ptr<const Superversion> CurrentSuperversion() const;
+  /// Publishes `sv` as the current superversion and refreshes the
+  /// storage.kv.bg.* gauges. Caller holds state_mu_.
+  void PublishLocked(std::shared_ptr<const Superversion> sv);
+
+  /// Commits `tables` as the live set durably.
+  Status WriteManifest(
+      const std::vector<std::shared_ptr<SSTableReader>>& tables);
   /// Renames dir_/name aside to name.quarantined (best-effort).
   void QuarantineFile(const std::string& name);
   /// Builds an SSTable from sorted entries, opens it, retrying
   /// transient failures and rebuilding on fresh-table corruption.
+  /// Tombstones are dropped only when no older table could hold a
+  /// shadowed version (`drop_tombstones`).
   Result<std::shared_ptr<SSTableReader>> BuildTableWithRetry(
       const std::string& path,
-      const std::map<std::string, MemTable::Entry, std::less<>>& rows);
-  /// Replays intact, decodable records into the memtable and returns
-  /// the on-disk byte length of that replayed prefix (so Recover can
-  /// truncate a damaged log before appending behind the damage).
-  uint64_t ReplayWal(const WalReadResult& wal);
+      const std::map<std::string, MemTable::Entry, std::less<>>& rows,
+      bool drop_tombstones);
+  /// Replays intact, decodable records into the active memtable and
+  /// returns the on-disk byte length of that replayed prefix (so
+  /// Recover can truncate a damaged log before appending behind the
+  /// damage). Accumulates into recovery_stats_ across multiple logs.
+  uint64_t ReplayWal(const WalReadResult& wal, bool* stopped_early);
   /// Shared read path; `ctx` null for legacy deadline-less Gets (which
   /// skip injection and breaker accounting entirely).
   Result<std::string> GetImpl(std::string_view key, const RequestContext* ctx);
 
   std::string dir_;
   Options options_;
-  MemTable memtable_;
-  /// Newest last; lookup walks back-to-front.
-  std::vector<std::shared_ptr<SSTableReader>> sstables_;
-  std::unique_ptr<WalWriter> wal_;
-  uint64_t next_sst_seq_ = 0;
   Stats stats_;
   RecoveryStats recovery_stats_;
   RetryPolicy retry_;
-  std::vector<std::string> pending_gc_;
   std::unique_ptr<CircuitBreaker> read_breaker_;
+
+  /// Serializes writers end-to-end (stall gate, WAL append, memtable
+  /// apply, seal). Never held across a flush or compaction in
+  /// background mode. Lock order: write_mu_ -> maint_mu_ -> state_mu_;
+  /// mem_mu_ is a leaf.
+  std::mutex write_mu_;
+  /// Serializes flush/compaction bodies (inline and background).
+  std::mutex maint_mu_;
+  /// The small RCU mutex: guards the superversion pointer and the
+  /// bookkeeping published with it. Critical sections never do IO.
+  mutable std::mutex state_mu_;
+  /// Guards every MemTable probe: writers take it exclusive for the
+  /// in-memory apply only (never across IO), readers shared.
+  mutable std::shared_mutex mem_mu_;
+
+  std::shared_ptr<const Superversion> sv_;  // guarded by state_mu_
+  /// The active memtable (== sv_->mem); writers only, under write_mu_.
+  std::shared_ptr<MemTable> mem_;
+  std::unique_ptr<WalWriter> wal_;  // writers only, under write_mu_
+  /// Sealed WAL segments oldest-first (guarded by state_mu_). Deleted
+  /// strictly in order once covered by a flush — a gap would let an
+  /// older segment's replay shadow newer flushed data after a crash.
+  std::vector<WalSegment> wal_segments_;
+  uint64_t next_wal_seq_ = 1;  // writers only, under write_mu_
+  uint64_t next_sst_seq_ = 0;  // guarded by state_mu_
+  std::vector<std::string> pending_gc_;  // guarded by state_mu_
+  Status bg_error_;                      // guarded by state_mu_
+
+  std::atomic<bool> bg_scheduled_{false};
+  std::atomic<bool> shutting_down_{false};
+  /// Declared last: destroyed first, so in-flight maintenance drains
+  /// before any state it touches goes away.
+  std::unique_ptr<ThreadPool> bg_pool_;
 };
 
 /// Reads and validates `dir`'s MANIFEST, returning the committed table

@@ -186,6 +186,44 @@ Status WalWriter::Sync() {
   return Status::OK();
 }
 
+Status WalWriter::RotateTo(const std::string& sealed_path) {
+  if (!IsOpen()) return Status::FailedPrecondition("WAL not open");
+  if (poisoned_) {
+    // Everything buffered after a failed fsync was never acknowledged
+    // (sync mode flushes the buffer on every acked record), so it is
+    // safe — and cleaner — to drop it than to seal indeterminate bytes.
+    buffer_.clear();
+  }
+  Status flushed = FlushBuffer();
+  if (!flushed.ok()) return flushed;
+  CloseFd();
+  Status renamed = RenameFileDurable(path_, sealed_path);
+  if (!renamed.ok() && !FileExists(sealed_path)) {
+    // Rename never happened: reopen the old log for append so the
+    // writer stays usable and the caller can retry the seal later.
+    Status reopened = Open();
+    if (!reopened.ok()) return reopened;
+    return renamed;
+  }
+  // The segment exists (even if the rename's directory sync failed —
+  // the caller's recovery path scans for segment files, so a
+  // half-durable rename is found either under the old or new name).
+  poisoned_ = false;
+  bytes_written_ = 0;
+#ifdef SAGA_WAL_OFSTREAM_FALLBACK
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) return Status::IOError("cannot reopen WAL: " + path_);
+#else
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("cannot reopen WAL " + path_ + ": " +
+                           std::strerror(errno));
+  }
+#endif
+  if (!renamed.ok()) return renamed;
+  return Status::OK();
+}
+
 Status WalWriter::Reset() {
   buffer_.clear();
   CloseFd();

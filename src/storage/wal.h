@@ -63,8 +63,24 @@ class WalWriter {
   /// on a fresh fd is a rebuilt log with nothing suspect in flight.
   Status Reset();
 
+  /// Seals the current log as `sealed_path` (durable rename) and
+  /// reopens a fresh empty log at the original path. Used when a
+  /// memtable is sealed for background flush: the segment's replay
+  /// coverage matches the sealed memtable exactly, so it can be
+  /// deleted once that memtable is flushed and manifest-committed.
+  /// Clears the fsync-gate poison on success (fresh fd, and every
+  /// byte suspect from the failed fsync is quarantined inside the
+  /// sealed segment, never re-fsynced). On failure the writer either
+  /// keeps its old log (rename never happened) or is left closed; the
+  /// caller must not treat the seal as done.
+  Status RotateTo(const std::string& sealed_path);
+
   /// True after a failed Sync until the log is rebuilt via Reset().
   bool poisoned() const { return poisoned_; }
+
+  /// False when a failed rotation left the writer without a log fd
+  /// (Reset() rebuilds it).
+  bool is_open() const { return IsOpen(); }
 
   uint64_t bytes_written() const { return bytes_written_; }
 

@@ -262,20 +262,27 @@ TEST_F(ReplicationTest, RouterSkipsLaggingAndUnhealthyFollowers) {
       {/*id=*/2, /*is_leader=*/false, /*healthy=*/false, /*lag=*/0},
   };
   // Only the leader is eligible: follower 1 is past the staleness
-  // bound, follower 2 is suspected.
+  // bound (a stale skip), follower 2 is suspected (not a candidate at
+  // all, so not counted as stale).
   for (int i = 0; i < 8; ++i) EXPECT_EQ(router.PickRead(views), 0);
   EXPECT_EQ(router.stats().leader_reads, 8u);
-  EXPECT_GE(router.stats().stale_skips, 16u);
+  EXPECT_EQ(router.stats().stale_skips, 8u);
 
   views[1].lag_records = 4;  // exactly at the bound: eligible
   EXPECT_EQ(router.PickRead(views), 1);
   EXPECT_EQ(router.stats().follower_reads, 1u);
 
-  // No leader, no eligible follower: the router refuses to serve
-  // rather than hand out unbounded staleness.
+  // Leader down, follower 1 beyond the bound but healthy: availability
+  // wins — the least-stale healthy follower serves, counted as a
+  // stale fallback.
   views[0].healthy = false;
   views[0].is_leader = false;
   views[1].lag_records = 5;
+  EXPECT_EQ(router.PickRead(views), 1);
+  EXPECT_EQ(router.stats().stale_fallbacks, 1u);
+
+  // Nobody healthy at all: now the router refuses to serve.
+  views[1].healthy = false;
   EXPECT_EQ(router.PickRead(views), -1);
 }
 
@@ -504,15 +511,17 @@ void RunChaosRound(uint64_t seed, bool wal_backed, const std::string& dir) {
       group->Step(rng.UniformDouble(5, 60));
     }
 
-    // Staleness audit: the router must never pick a follower past the
-    // bound, and never an unhealthy one.
+    // Staleness audit: the router must never pick an unhealthy
+    // replica, and never a follower past the bound unless it degraded
+    // to the last-resort stale fallback (leader down and nobody inside
+    // the bound).
     serving::ReplicaRouter probe(group->router().options());
     const auto views = group->Views();
     const int picked = probe.PickRead(views);
     if (picked >= 0) {
       const auto& v = views[static_cast<size_t>(picked)];
       EXPECT_TRUE(v.healthy);
-      if (!v.is_leader) {
+      if (!v.is_leader && probe.stats().stale_fallbacks == 0) {
         EXPECT_LE(v.lag_records,
                   group->router().options().max_staleness_records)
             << "router served a follower past the staleness bound";

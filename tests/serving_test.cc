@@ -75,6 +75,42 @@ TEST(LruCacheTest, TracksHitsAndMisses) {
   EXPECT_EQ(cache.misses(), 1u);
 }
 
+TEST(LruCacheTest, RejectsOversizedInsertUpFront) {
+  LruCache cache(50);
+  ASSERT_TRUE(cache.Put("a", std::string(20, 'x')));
+  ASSERT_TRUE(cache.Put("b", std::string(20, 'y')));
+  // An entry that can never fit is refused without evicting anything.
+  EXPECT_FALSE(cache.Put("huge", std::string(60, 'z')));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("b"));
+  EXPECT_FALSE(cache.Contains("huge"));
+  EXPECT_EQ(cache.size_bytes(), 42u);  // 2 * (1 + 20)
+}
+
+TEST(LruCacheTest, OversizedUpdateOfExistingKeyIsRejected) {
+  LruCache cache(50);
+  ASSERT_TRUE(cache.Put("k", std::string(10, 'a')));
+  const size_t before = cache.size_bytes();
+  EXPECT_FALSE(cache.Put("k", std::string(60, 'b')));
+  // The old entry survives untouched.
+  EXPECT_EQ(cache.size_bytes(), before);
+  EXPECT_EQ(*cache.Get("k"), std::string(10, 'a'));
+}
+
+TEST(LruCacheTest, EvictionSparesTheJustUpdatedEntry) {
+  LruCache cache(50);
+  ASSERT_TRUE(cache.Put("a", std::string(20, 'x')));
+  ASSERT_TRUE(cache.Put("b", std::string(20, 'y')));  // 42 bytes total
+  // Growing b to 40 bytes pushes the total to 62: eviction must take
+  // the cold entry (a), never the entry this Put just touched.
+  ASSERT_TRUE(cache.Put("b", std::string(40, 'Y')));
+  EXPECT_FALSE(cache.Contains("a"));
+  ASSERT_TRUE(cache.Contains("b"));
+  EXPECT_EQ(*cache.Get("b"), std::string(40, 'Y'));
+  EXPECT_EQ(cache.size_bytes(), 41u);  // 1 + 40
+}
+
 // ---------- EmbeddingKvCache ----------
 
 TEST(EmbeddingKvCacheTest, PutAllThenGetThroughTiers) {
@@ -99,6 +135,32 @@ TEST(EmbeddingKvCacheTest, PutAllThenGetThroughTiers) {
 
   EXPECT_FALSE((*cache)->Get(kg::EntityId(10101010)).ok());
   EXPECT_EQ((*cache)->stats().misses, 1u);
+  (void)RemoveDirRecursively(*dir);
+}
+
+// Regression: Put used to write through to disk without touching the
+// LRU, so an entity read once kept serving its old embedding forever.
+TEST(EmbeddingKvCacheTest, PutRefreshesResidentLruEntry) {
+  auto dir = MakeTempDir("saga_kv_cache_stale");
+  ASSERT_TRUE(dir.ok());
+  auto cache = EmbeddingKvCache::Open(*dir, 1 << 16);
+  ASSERT_TRUE(cache.ok());
+
+  const kg::EntityId id(42);
+  const std::vector<float> v1 = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> v2 = {9.0f, 8.0f, 7.0f};
+  ASSERT_TRUE((*cache)->Put(id, v1).ok());
+  auto first = (*cache)->Get(id);  // disk hit; v1 now LRU-resident
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, v1);
+
+  ASSERT_TRUE((*cache)->Put(id, v2).ok());
+  auto second = (*cache)->Get(id);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, v2) << "LRU served a stale embedding after Put";
+  // Served from memory: the refresh updated the entry in place rather
+  // than invalidating it.
+  EXPECT_EQ((*cache)->stats().memory_hits, 1u);
   (void)RemoveDirRecursively(*dir);
 }
 

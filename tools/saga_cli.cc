@@ -154,6 +154,13 @@ obs::HealthSection BuildServingSection() {
        obs::Registry::Global().CountersWithPrefix("serving.breaker.")) {
     section.Row(name, value);
   }
+  // Read-routing counters: stale_skips are followers passed over for
+  // lag, stale_fallbacks are last-resort reads served from a
+  // beyond-bound follower because no leader was healthy.
+  for (const auto& [name, value] :
+       obs::Registry::Global().CountersWithPrefix("serving.replica_router.")) {
+    section.Row(name, value);
+  }
   const auto admitted =
       obs::Registry::Global().CountersWithPrefix("serving.admission.");
   if (admitted.empty()) {
@@ -164,6 +171,42 @@ obs::HealthSection BuildServingSection() {
   for (const auto& [name, value] :
        obs::Registry::Global().GaugesWithPrefix("serving.admission.")) {
     section.Row(name, value, 0);
+  }
+  return section;
+}
+
+/// Storage background-maintenance surface: immutable-memtable backlog
+/// and L0 table count (the two write-stall gates), flush/compaction/
+/// rotation counters, stall sheds and background failures. Live in a
+/// process hosting a KvStore with background_maintenance on.
+obs::HealthSection BuildStorageSection() {
+  obs::HealthSection section("storage");
+  const auto gauges =
+      obs::Registry::Global().GaugesWithPrefix("storage.kv.bg.");
+  if (gauges.empty()) {
+    section.Note("no background-maintenance KV store in this process");
+    return section;
+  }
+  double imm = 0;
+  for (const auto& [name, value] : gauges) {
+    if (name == "storage.kv.bg.imm_memtables") imm = value;
+    section.Row(name, value, 0);
+  }
+  uint64_t stall_rejects = 0, failures = 0;
+  for (const auto& [name, value] :
+       obs::Registry::Global().CountersWithPrefix("storage.kv.bg.")) {
+    if (name == "storage.kv.bg.stall_rejects") stall_rejects = value;
+    if (name == "storage.kv.bg.failures") failures = value;
+    section.Row(name, value);
+  }
+  if (failures > 0) {
+    section.Note("background maintenance has failed; check store "
+                 "background_error()");
+  } else if (imm > 0 || stall_rejects > 0) {
+    section.Note("maintenance backlog present (writes stall-shed once "
+                 "the gates are exceeded)");
+  } else {
+    section.Note("maintenance keeping up (no backlog, no stalls)");
   }
   return section;
 }
@@ -292,6 +335,7 @@ std::vector<obs::HealthSection> BuildHealthSections() {
   sections.push_back(BuildServingSection());
   sections.push_back(BuildIntegritySection());
   sections.push_back(BuildReplicationSection());
+  sections.push_back(BuildStorageSection());
   sections.push_back(BuildResourceSection());
   return sections;
 }
